@@ -1,0 +1,92 @@
+// Shared plumbing for the table/figure reproduction benches: CLI -> sweep
+// config, progress reporting, and the paper's published numbers for
+// side-by-side comparison.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "expt/report.hpp"
+#include "expt/sweep.hpp"
+#include "util/cli.hpp"
+
+namespace tcgrid::bench {
+
+/// Scale knobs common to every reproduction bench.
+///
+/// Defaults are a reduced sweep that preserves the paper's factorial
+/// structure (all ncom and wmin values) but runs in minutes on one core;
+/// `--full` restores the paper's exact scale (10 scenarios x 10 trials,
+/// 10^6-slot cap).
+inline expt::SweepConfig config_from_cli(const util::Cli& cli, int m,
+                                         long default_cap) {
+  expt::SweepConfig config;
+  config.ms = {m};
+  const bool full = cli.get_bool("full");
+  config.scenarios_per_cell =
+      static_cast<int>(cli.get_long("scenarios", full ? 10 : 2));
+  config.trials = static_cast<int>(cli.get_long("trials", full ? 10 : 2));
+  config.slot_cap = cli.get_long("cap", full ? 1'000'000 : default_cap);
+  config.eps = cli.get_double("eps", 1e-6);
+  config.seed = static_cast<std::uint64_t>(cli.get_long("seed", 42));
+  config.threads = static_cast<std::size_t>(cli.get_long("threads", 0));
+  return config;
+}
+
+inline void print_header(const std::string& what, const expt::SweepConfig& c) {
+  std::cout << "== " << what << " ==\n"
+            << "sweep: m=" << c.ms[0] << " ncom={5,10,20} wmin=1..10, "
+            << c.scenarios_per_cell << " scenario(s)/cell x " << c.trials
+            << " trial(s), cap=" << c.slot_cap << " slots, seed=" << c.seed
+            << "\n(paper scale: --full; knobs: --scenarios N --trials N --cap N"
+               " --seed N --threads N)\n\n";
+}
+
+inline std::function<void(std::size_t, std::size_t)> progress_printer() {
+  return [](std::size_t done, std::size_t total) {
+    if (done == total || done % 10 == 0) {
+      std::fprintf(stderr, "\r  scenarios %zu/%zu", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+    }
+  };
+}
+
+/// The %diff values published in the paper's Table I (m = 5).
+inline const std::map<std::string, double>& paper_table1_diff() {
+  static const std::map<std::string, double> v = {
+      {"Y-IE", -11.82}, {"P-IE", -10.50},  {"E-IAY", -10.40}, {"E-IY", -3.40},
+      {"IE", 0.00},     {"IAY", 13.59},    {"E-IP", 19.35},   {"IY", 24.22},
+      {"IP", 52.03},    {"E-IE", 53.93},   {"Y-IAY", 99.75},  {"Y-IY", 113.01},
+      {"P-IAY", 125.27},{"Y-IP", 145.05},  {"P-IY", 145.78},  {"P-IP", 176.92},
+      {"RANDOM", 2124.42}};
+  return v;
+}
+
+/// The %diff values published in the paper's Table II (m = 10, best 8).
+inline const std::map<std::string, double>& paper_table2_diff() {
+  static const std::map<std::string, double> v = {
+      {"Y-IE", -10.33}, {"P-IE", -8.62}, {"E-IAY", -6.10}, {"E-IY", 8.04},
+      {"E-IP", 29.68},  {"IAY", 136.65}, {"IY", 147.77},   {"IE", 0.00}};
+  return v;
+}
+
+/// Render summaries with the paper's published %diff as an extra column.
+inline util::Table table_with_paper_column(
+    const std::vector<expt::HeuristicSummary>& summaries,
+    const std::map<std::string, double>& paper) {
+  util::Table table(
+      {"Heuristic", "#fails", "%diff", "%wins", "%wins30", "stdv", "paper %diff"});
+  for (const auto& s : summaries) {
+    auto it = paper.find(s.name);
+    table.add_row({s.name, std::to_string(s.fails), util::Table::num(s.pct_diff),
+                   util::Table::num(s.pct_wins), util::Table::num(s.pct_wins30),
+                   util::Table::num(s.stdv),
+                   it == paper.end() ? "-" : util::Table::num(it->second)});
+  }
+  return table;
+}
+
+}  // namespace tcgrid::bench

@@ -1,0 +1,85 @@
+// Google-benchmark microbenchmarks of the simulation engine and the
+// scheduling decision path: end-to-end runs per heuristic class (slots/sec)
+// and a single incremental configuration build.
+#include <benchmark/benchmark.h>
+
+#include "expt/runner.hpp"
+#include "platform/scenario.hpp"
+#include "sched/incremental.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace tcgrid;
+
+platform::Scenario bench_scenario(int m, long wmin) {
+  platform::ScenarioParams params;
+  params.m = m;
+  params.ncom = 5;
+  params.wmin = wmin;
+  params.seed = 11;
+  return platform::make_scenario(params);
+}
+
+void run_heuristic_benchmark(benchmark::State& state, const char* name) {
+  const auto scenario = bench_scenario(static_cast<int>(state.range(0)),
+                                       state.range(1));
+  sched::Estimator est(scenario.platform, scenario.app, 1e-6);
+  expt::RunOptions opts;
+  opts.slot_cap = 1'000'000;
+  long slots = 0;
+  for (auto _ : state) {
+    const auto r = expt::run_trial(scenario, est, name, 0, opts);
+    slots += r.makespan;
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.counters["slots/s"] =
+      benchmark::Counter(static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+
+void BM_Run_RANDOM(benchmark::State& state) { run_heuristic_benchmark(state, "RANDOM"); }
+void BM_Run_IE(benchmark::State& state) { run_heuristic_benchmark(state, "IE"); }
+void BM_Run_YIE(benchmark::State& state) { run_heuristic_benchmark(state, "Y-IE"); }
+void BM_Run_EIAY(benchmark::State& state) { run_heuristic_benchmark(state, "E-IAY"); }
+
+BENCHMARK(BM_Run_RANDOM)->Args({5, 2})->Args({10, 2});
+BENCHMARK(BM_Run_IE)->Args({5, 2})->Args({10, 2});
+BENCHMARK(BM_Run_YIE)->Args({5, 2})->Args({10, 2})->Args({5, 8});
+BENCHMARK(BM_Run_EIAY)->Args({5, 2});
+
+void BM_IncrementalBuild(benchmark::State& state) {
+  const auto scenario = bench_scenario(static_cast<int>(state.range(0)), 2);
+  sched::Estimator est(scenario.platform, scenario.app, 1e-6);
+  sched::IncrementalBuilder builder(sched::Rule::IE, est);
+
+  std::vector<markov::State> states(static_cast<std::size_t>(scenario.platform.size()),
+                                    markov::State::Up);
+  std::vector<model::Holdings> holdings(states.size());
+  std::vector<long> comm(states.size(), 0);
+  sim::SchedulerView view;
+  view.platform = &scenario.platform;
+  view.app = &scenario.app;
+  view.states = states;
+  view.holdings = holdings;
+  view.comm_remaining = comm;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(view));
+  }
+}
+BENCHMARK(BM_IncrementalBuild)->Arg(5)->Arg(10);
+
+void BM_AvailabilityAdvance(benchmark::State& state) {
+  const auto scenario = bench_scenario(5, 2);
+  platform::MarkovAvailability avail(scenario.platform, 3);
+  for (auto _ : state) {
+    avail.advance();
+    benchmark::DoNotOptimize(avail.state(0));
+  }
+}
+BENCHMARK(BM_AvailabilityAdvance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Google-benchmark microbenchmarks of the §V estimator mathematics: the
+// truncated series (Theorem 5.1), the renewal recursion cross-check, the
+// survival tables, and the full per-candidate evaluation path that the
+// incremental heuristics hammer (m x p times per scheduling decision).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "markov/series.hpp"
+#include "platform/scenario.hpp"
+#include "sched/estimator.hpp"
+
+namespace {
+
+using namespace tcgrid;
+
+std::vector<markov::UrMatrix> random_set(std::size_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<markov::UrMatrix> set;
+  for (std::size_t i = 0; i < k; ++i) {
+    set.push_back(markov::ur_submatrix(markov::TransitionMatrix::paper_random(rng)));
+  }
+  return set;
+}
+
+void BM_CoupledStats_SetSize(benchmark::State& state) {
+  const auto set = random_set(static_cast<std::size_t>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::coupled_stats(set, 1e-6));
+  }
+}
+BENCHMARK(BM_CoupledStats_SetSize)->DenseRange(1, 10);
+
+void BM_CoupledStats_Eps(benchmark::State& state) {
+  const auto set = random_set(5, 23);
+  const double eps = std::pow(10.0, -static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::coupled_stats(set, eps));
+  }
+}
+BENCHMARK(BM_CoupledStats_Eps)->DenseRange(3, 12, 3);
+
+void BM_RenewalRecursion(benchmark::State& state) {
+  const auto set = random_set(5, 29);
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::renewal_first_return(set, horizon));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RenewalRecursion)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_EstimatorEvaluate_Cold(benchmark::State& state) {
+  // Fresh estimator every pass: measures uncached set statistics.
+  platform::ScenarioParams params;
+  params.seed = 5;
+  const auto scenario = platform::make_scenario(params);
+  std::vector<int> set;
+  std::vector<sched::Estimator::CommNeed> needs;
+  for (int q = 0; q < static_cast<int>(state.range(0)); ++q) {
+    set.push_back(q);
+    needs.push_back({q, 12});
+  }
+  for (auto _ : state) {
+    sched::Estimator est(scenario.platform, scenario.app, 1e-6);
+    benchmark::DoNotOptimize(est.evaluate(needs, set, 20));
+  }
+}
+BENCHMARK(BM_EstimatorEvaluate_Cold)->DenseRange(2, 10, 2);
+
+void BM_EstimatorEvaluate_Warm(benchmark::State& state) {
+  // Memoized path: what a steady-state scheduling decision costs.
+  platform::ScenarioParams params;
+  params.seed = 5;
+  const auto scenario = platform::make_scenario(params);
+  sched::Estimator est(scenario.platform, scenario.app, 1e-6);
+  std::vector<int> set;
+  std::vector<sched::Estimator::CommNeed> needs;
+  for (int q = 0; q < static_cast<int>(state.range(0)); ++q) {
+    set.push_back(q);
+    needs.push_back({q, 12});
+  }
+  (void)est.evaluate(needs, set, 20);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.evaluate(needs, set, 20));
+  }
+}
+BENCHMARK(BM_EstimatorEvaluate_Warm)->DenseRange(2, 10, 2);
+
+void BM_PNoDownTable(benchmark::State& state) {
+  platform::ScenarioParams params;
+  params.seed = 7;
+  const auto scenario = platform::make_scenario(params);
+  const long t = state.range(0);
+  for (auto _ : state) {
+    sched::Estimator est(scenario.platform, scenario.app, 1e-6);
+    benchmark::DoNotOptimize(est.p_no_down(3, t));
+  }
+}
+BENCHMARK(BM_PNoDownTable)->RangeMultiplier(8)->Range(8, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

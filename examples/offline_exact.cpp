@@ -1,0 +1,95 @@
+// The off-line problem (paper §IV) made tangible:
+//  1. samples a Markov availability window and finds, exactly, the largest
+//     w such that m processors are simultaneously UP during w slots
+//     (OFFLINE-COUPLED, mu = 1), with the certificate;
+//  2. shows the mu = inf relaxation stacking tasks on fewer workers;
+//  3. demonstrates the Theorem 4.1 reduction: a random ENCD bi-clique
+//     instance solved through the scheduling formulation.
+//
+//   ./offline_exact [--p 8] [--slots 24] [--m 3] [--seed 5]
+#include <iostream>
+
+#include "offline/encd.hpp"
+#include "offline/exact_solver.hpp"
+#include "platform/availability.hpp"
+#include "platform/scenario.hpp"
+#include "platform/semi_markov.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcgrid;
+  util::Cli cli(argc, argv);
+  const int p = static_cast<int>(cli.get_long("p", 8));
+  const int slots = static_cast<int>(cli.get_long("slots", 24));
+  const int m = static_cast<int>(cli.get_long("m", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_long("seed", 5));
+
+  // --- sample an availability window from the paper's Markov model --------
+  platform::ScenarioParams params;
+  params.p = p;
+  params.seed = seed;
+  const auto scenario = platform::make_scenario(params);
+  platform::MarkovAvailability source(scenario.platform, seed);
+  const auto window = platform::record(source, slots);
+  const auto inst = offline::OfflineInstance::from_timeline(window);
+
+  std::cout << "Availability window (" << p << " procs x " << slots
+            << " slots, 'X' = UP):\n";
+  for (int q = 0; q < p; ++q) {
+    std::cout << "  P" << q + 1 << (q + 1 < 10 ? "  " : " ") << "|";
+    for (int t = 0; t < slots; ++t) std::cout << (inst.up(q, t) ? 'X' : '.');
+    std::cout << '\n';
+  }
+
+  // --- exact mu = 1 optimum ----------------------------------------------
+  const int best_w = offline::max_coupled_slots(inst, m);
+  std::cout << "\nOFFLINE-COUPLED(mu=1): the largest w with " << m
+            << " processors simultaneously UP during w slots is w = " << best_w
+            << '\n';
+  if (best_w > 0) {
+    const auto cert = offline::solve_mu1(inst, m, best_w);
+    std::cout << "  certificate: procs {";
+    for (std::size_t i = 0; i < cert.procs.size(); ++i) {
+      std::cout << (i ? "," : "") << 'P' << cert.procs[i] + 1;
+    }
+    std::cout << "} slots {";
+    for (std::size_t i = 0; i < cert.slots.size(); ++i) {
+      std::cout << (i ? "," : "") << cert.slots[i];
+    }
+    std::cout << "}\n";
+  }
+
+  // --- mu = inf relaxation -------------------------------------------------
+  const int w_query = std::max(1, best_w);
+  const auto relaxed = offline::solve_muinf(inst, 2 * m, w_query);
+  std::cout << "\nOFFLINE-COUPLED(mu=inf) with m = " << 2 * m << ", w = " << w_query
+            << ": " << (relaxed.found ? "feasible" : "infeasible");
+  if (relaxed.found) {
+    std::cout << " (stacking j = " << relaxed.tasks_per_worker
+              << " tasks per worker on " << relaxed.certificate.procs.size()
+              << " workers for " << relaxed.certificate.slots.size() << " slots)";
+  }
+  std::cout << '\n';
+
+  // --- Theorem 4.1: ENCD through the scheduling lens ----------------------
+  util::Rng rng(seed ^ 0x51ed);
+  const auto graph = offline::BipartiteGraph::random(6, 6, 0.6, rng);
+  const auto reduced = offline::encd_to_offline_mu1(graph);
+  std::cout << "\nTheorem 4.1 demo: random bipartite graph (6+6 vertices) -> "
+               "offline instance;\n  (a,b) bi-clique exists  | via ENCD oracle"
+               " | via scheduling solver\n";
+  for (int a = 2; a <= 3; ++a) {
+    for (int b = 2; b <= 3; ++b) {
+      const bool oracle = offline::encd_brute_force(graph, a, b);
+      const bool sched = offline::solve_mu1(reduced, a, b).found;
+      std::cout << "  (" << a << "," << b << ")                   |      "
+                << (oracle ? "yes" : " no") << "           |      "
+                << (sched ? "yes" : " no") << (oracle == sched ? "   [agree]" : "   [MISMATCH]")
+                << '\n';
+    }
+  }
+  std::cout << "\nDeciding these questions is NP-hard (reduction from ENCD), "
+               "which is why the\non-line heuristics of SVI never try to be "
+               "optimal, even with full knowledge.\n";
+  return 0;
+}

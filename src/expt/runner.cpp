@@ -1,0 +1,32 @@
+#include "expt/runner.hpp"
+
+#include "platform/availability.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace tcgrid::expt {
+
+std::uint64_t trial_seed(const platform::Scenario& scenario, int trial) {
+  // Stream 1000+trial: availability. (Stream 2000+trial seeds RANDOM below;
+  // distinct offsets keep the streams decorrelated.)
+  return util::derive_seed(scenario.params.seed, 1000 + static_cast<std::uint64_t>(trial));
+}
+
+sim::SimulationResult run_trial(const platform::Scenario& scenario,
+                                const sched::Estimator& estimator,
+                                std::string_view heuristic, int trial,
+                                const RunOptions& options) {
+  platform::MarkovAvailability availability(scenario.platform,
+                                            trial_seed(scenario, trial), options.init);
+  const std::uint64_t random_seed =
+      util::derive_seed(scenario.params.seed, 2000 + static_cast<std::uint64_t>(trial));
+  auto scheduler = sched::make_scheduler(heuristic, estimator, random_seed);
+
+  sim::EngineOptions engine_options;
+  engine_options.slot_cap = options.slot_cap;
+  sim::Engine engine(scenario.platform, scenario.app, availability, *scheduler,
+                     engine_options);
+  return engine.run();
+}
+
+}  // namespace tcgrid::expt

@@ -1,0 +1,86 @@
+#include "expt/sweep.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "sched/registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tcgrid::expt {
+
+int SweepResults::heuristic_index(const std::string& name) const {
+  for (std::size_t i = 0; i < heuristics.size(); ++i) {
+    if (heuristics[i] == name) return static_cast<int>(i);
+  }
+  throw std::invalid_argument("SweepResults: heuristic not in sweep: " + name);
+}
+
+std::vector<platform::ScenarioParams> scenario_grid(const SweepConfig& c) {
+  std::vector<platform::ScenarioParams> grid;
+  std::uint64_t cell = 0;
+  for (int m : c.ms) {
+    for (int ncom : c.ncoms) {
+      for (long wmin : c.wmins) {
+        for (int s = 0; s < c.scenarios_per_cell; ++s) {
+          platform::ScenarioParams params;
+          params.m = m;
+          params.ncom = ncom;
+          params.wmin = wmin;
+          params.p = c.p;
+          params.iterations = c.iterations;
+          params.seed = util::derive_seed(
+              c.seed, cell * 1000 + static_cast<std::uint64_t>(s));
+          grid.push_back(params);
+        }
+        ++cell;
+      }
+    }
+  }
+  return grid;
+}
+
+SweepResults run_sweep(const SweepConfig& config,
+                       const std::function<void(std::size_t, std::size_t)>& progress) {
+  SweepResults results;
+  results.heuristics = config.heuristics.empty() ? sched::all_heuristic_names()
+                                                 : config.heuristics;
+  results.scenarios = scenario_grid(config);
+
+  const std::size_t n_heur = results.heuristics.size();
+  const std::size_t n_scen = results.scenarios.size();
+  results.outcomes.assign(n_heur, std::vector<ScenarioOutcomes>(n_scen));
+  for (auto& per_scenario : results.outcomes) {
+    for (auto& trials : per_scenario) {
+      trials.resize(static_cast<std::size_t>(config.trials));
+    }
+  }
+
+  RunOptions run_options;
+  run_options.slot_cap = config.slot_cap;
+  run_options.eps = config.eps;
+
+  std::atomic<std::size_t> done{0};
+  util::parallel_for(
+      n_scen,
+      [&](std::size_t sc) {
+        // One scenario: instantiate once, share the estimator across all
+        // heuristics and trials (single thread => no data races).
+        const platform::Scenario scenario = platform::make_scenario(results.scenarios[sc]);
+        sched::Estimator estimator(scenario.platform, scenario.app, config.eps);
+        for (std::size_t h = 0; h < n_heur; ++h) {
+          for (int trial = 0; trial < config.trials; ++trial) {
+            const sim::SimulationResult r = run_trial(
+                scenario, estimator, results.heuristics[h], trial, run_options);
+            results.outcomes[h][sc][static_cast<std::size_t>(trial)] =
+                TrialOutcome{r.success, r.makespan};
+          }
+        }
+        const std::size_t d = ++done;
+        if (progress) progress(d, n_scen);
+      },
+      config.threads);
+
+  return results;
+}
+
+}  // namespace tcgrid::expt

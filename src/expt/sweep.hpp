@@ -1,0 +1,57 @@
+// The factorial experiment sweep of §VII-A, parallelized over scenarios.
+//
+// The paper's full space: m in {5,10} x ncom in {5,10,20} x wmin in 1..10,
+// 10 random scenarios per cell, 10 trials per scenario. Bench binaries run
+// a structurally identical reduced sweep by default (see DESIGN.md §2) and
+// accept --full for the paper's exact scale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "expt/metrics.hpp"
+#include "expt/runner.hpp"
+#include "platform/scenario.hpp"
+
+namespace tcgrid::expt {
+
+struct SweepConfig {
+  std::vector<int> ms{5};
+  std::vector<int> ncoms{5, 10, 20};
+  std::vector<long> wmins{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  int scenarios_per_cell = 10;
+  int trials = 10;
+  int iterations = 10;
+  int p = 20;
+  long slot_cap = 1'000'000;
+  double eps = 1e-6;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::vector<std::string> heuristics;  ///< empty = all 17
+};
+
+/// All (heuristic x scenario x trial) outcomes of a sweep, with scenario
+/// parameters aligned by scenario index.
+struct SweepResults {
+  std::vector<std::string> heuristics;
+  std::vector<platform::ScenarioParams> scenarios;
+  /// outcomes[h][scenario][trial]
+  std::vector<std::vector<ScenarioOutcomes>> outcomes;
+
+  [[nodiscard]] int heuristic_index(const std::string& name) const;
+};
+
+/// Enumerate the scenario parameter grid of a config (cell-major order,
+/// `scenarios_per_cell` consecutive entries per cell; seeds derived from
+/// config.seed so the grid is reproducible).
+[[nodiscard]] std::vector<platform::ScenarioParams> scenario_grid(const SweepConfig& c);
+
+/// Run the sweep. `progress`, if given, is called after each completed
+/// scenario with (done, total) — it may be called from worker threads.
+[[nodiscard]] SweepResults run_sweep(
+    const SweepConfig& config,
+    const std::function<void(std::size_t, std::size_t)>& progress = nullptr);
+
+}  // namespace tcgrid::expt

@@ -1,0 +1,44 @@
+#include "markov/chain.hpp"
+
+namespace tcgrid::markov {
+
+State step(const TransitionMatrix& m, State from, util::Rng& rng) {
+  const double u = rng.uniform01();
+  const double pu = m.prob(from, State::Up);
+  if (u < pu) return State::Up;
+  if (u < pu + m.prob(from, State::Reclaimed)) return State::Reclaimed;
+  return State::Down;
+}
+
+std::vector<State> trajectory(const TransitionMatrix& m, State initial,
+                              std::size_t length, util::Rng& rng) {
+  std::vector<State> out;
+  out.reserve(length);
+  if (length == 0) return out;
+  out.push_back(initial);
+  for (std::size_t i = 1; i < length; ++i) {
+    out.push_back(step(m, out.back(), rng));
+  }
+  return out;
+}
+
+double mc_up_to_up(const TransitionMatrix& m, std::size_t t, std::size_t samples,
+                   util::Rng& rng) {
+  if (t == 0) return 1.0;
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    State cur = State::Up;
+    bool died = false;
+    for (std::size_t k = 0; k < t; ++k) {
+      cur = step(m, cur, rng);
+      if (cur == State::Down) {
+        died = true;
+        break;
+      }
+    }
+    if (!died && cur == State::Up) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace tcgrid::markov

@@ -1,0 +1,28 @@
+// Sampling of Markov availability trajectories.
+#pragma once
+
+#include <vector>
+
+#include "markov/state.hpp"
+#include "markov/transition_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tcgrid::markov {
+
+/// Sample the successor state of `from` under `m`, consuming exactly one
+/// uniform draw from `rng`. Consuming a fixed number of draws per step keeps
+/// trajectory realizations identical across consumers that share a seed.
+[[nodiscard]] State step(const TransitionMatrix& m, State from, util::Rng& rng);
+
+/// Sample a trajectory of `length` states starting from (and including)
+/// `initial` at index 0.
+[[nodiscard]] std::vector<State> trajectory(const TransitionMatrix& m, State initial,
+                                            std::size_t length, util::Rng& rng);
+
+/// Empirical probability that a processor starting UP is UP again at time t
+/// without visiting DOWN in between — Monte-Carlo counterpart of the
+/// analytical P^{(q)}_{u -t-> u} used to validate the series code in tests.
+[[nodiscard]] double mc_up_to_up(const TransitionMatrix& m, std::size_t t,
+                                 std::size_t samples, util::Rng& rng);
+
+}  // namespace tcgrid::markov

@@ -1,0 +1,81 @@
+// Truncated-series evaluation of the paper's Theorem 5.1 quantities.
+//
+// For a set S of processors, all UP at time 0, with UR sub-matrices M_q:
+//
+//   g(t)  = prod_q (M_q^t)[u][u]        (all UP at t, none DOWN in between)
+//   Eu(S) = sum_{t>=1} g(t)             (expected # of all-UP slots pre-failure)
+//   A(S)  = sum_{t>=1} t * g(t)
+//
+//   P+(S) = Eu / (1 + Eu)               (prob. of a next all-UP slot, no DOWN)
+//   E_c   = A * (1 - P+) / (1 + Eu)     (paper's approximation of the gap)
+//
+// The spectral bound g(t) <= Lambda^t with Lambda = prod_q lambda1(M_q) < 1
+// gives closed-form tails, so both series can be truncated at any requested
+// precision eps in polynomial time (the theorem's claim).
+//
+// When every processor in S is failure-free, Eu diverges; the paper then
+// defines P+(S) = 1, and we obtain E_c directly from the first-return
+// distribution via the renewal recursion below.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "markov/spectral.hpp"
+
+namespace tcgrid::markov {
+
+/// Result of summing the all-UP survival series.
+struct UpSeriesSums {
+  double eu = 0.0;        ///< sum g(t), t >= 1 (truncated)
+  double a = 0.0;         ///< sum t*g(t), t >= 1 (truncated)
+  std::size_t terms = 0;  ///< number of series terms evaluated
+  bool converged = true;  ///< tail bound met before hitting max_terms
+};
+
+/// Sum Eu(S) and A(S) with neglected tail <= eps (for both sums).
+/// `max_terms` caps the work for near-critical Lambda; if hit, `converged`
+/// is false and the sums are lower bounds.
+[[nodiscard]] UpSeriesSums up_series(std::span<const UrMatrix> procs, double eps,
+                                     std::size_t max_terms = 1 << 20);
+
+/// First-return ("renewal") distribution of the all-UP event.
+///
+/// f(t) = P(first time all processors are simultaneously UP again is t,
+///          with no processor DOWN in between), computed by deconvolving
+///   g(t) = f(t) + sum_{s<t} f(s) g(t-s)
+/// up to `horizon`. O(horizon^2); used as the production path only for
+/// failure-free sets and as a cross-check of the closed forms in tests.
+struct RenewalResult {
+  std::vector<double> f;    ///< f[t] for t = 0..horizon (f[0] unused, = 0)
+  double p_plus = 0.0;      ///< sum f(t) up to horizon
+  double ec_uncond = 0.0;   ///< sum t*f(t) up to horizon (paper's E_c form)
+};
+
+[[nodiscard]] RenewalResult renewal_first_return(std::span<const UrMatrix> procs,
+                                                 std::size_t horizon);
+
+/// Everything the scheduler needs about a coupled computation on set S
+/// (paper §V-A), precomputed once per candidate set.
+struct CoupledStats {
+  double p_plus = 1.0;      ///< P+(S)
+  double ec = 0.0;          ///< E_c
+  bool failure_free = false;
+  bool converged = true;
+
+  /// Probability that W slots of coupled computation complete with no
+  /// processor of S going DOWN: P+(S)^(W-1) (the first slot is "now").
+  [[nodiscard]] double success_prob(long w) const;
+
+  /// Paper's approximation E^{(S)}(W) = (1 + (W-1) E_c) / P+^(W-1) of the
+  /// expected number of slots to obtain W all-UP slots, conditioned on
+  /// success. Returns 0 for w <= 0.
+  [[nodiscard]] double expected_time(long w) const;
+};
+
+/// Evaluate CoupledStats for a set of processors at precision eps.
+[[nodiscard]] CoupledStats coupled_stats(std::span<const UrMatrix> procs, double eps,
+                                         std::size_t max_terms = 1 << 20);
+
+}  // namespace tcgrid::markov

@@ -1,0 +1,34 @@
+#include "markov/spectral.hpp"
+
+#include <cmath>
+
+namespace tcgrid::markov {
+
+double UrMatrix::lambda1() const noexcept {
+  const double tr = uu + rr;
+  const double disc = (uu - rr) * (uu - rr) + 4.0 * ur * ru;
+  return 0.5 * (tr + std::sqrt(std::max(0.0, disc)));
+}
+
+UrMatrix ur_submatrix(const TransitionMatrix& m) noexcept {
+  UrMatrix out;
+  out.uu = m.prob(State::Up, State::Up);
+  out.ur = m.prob(State::Up, State::Reclaimed);
+  out.ru = m.prob(State::Reclaimed, State::Up);
+  out.rr = m.prob(State::Reclaimed, State::Reclaimed);
+  return out;
+}
+
+double p_up_to_up(const UrMatrix& m, std::size_t t) noexcept {
+  UrRow row;
+  for (std::size_t i = 0; i < t; ++i) row.advance(m);
+  return row.u;
+}
+
+double p_no_down(const UrMatrix& m, std::size_t t) noexcept {
+  UrRow row;
+  for (std::size_t i = 0; i < t; ++i) row.advance(m);
+  return row.survival();
+}
+
+}  // namespace tcgrid::markov

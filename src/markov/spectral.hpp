@@ -1,0 +1,62 @@
+// The 2x2 sub-chain over {UP, RECLAIMED} and its spectral decay bound.
+//
+// Restricting the 3-state chain to the non-DOWN states gives a sub-stochastic
+// matrix M_q; (M_q^t)[u][u] is exactly the paper's P^{(q)}_{u -t-> u}: the
+// probability that a processor UP at time 0 is UP at time t without having
+// been DOWN in between. The dominant eigenvalue lambda1(M_q) < 1 (when the
+// processor can fail) yields the geometric tail bound used to truncate the
+// series of Theorem 5.1 at a guaranteed precision.
+#pragma once
+
+#include <cstddef>
+
+#include "markov/transition_matrix.hpp"
+
+namespace tcgrid::markov {
+
+/// Sub-stochastic 2x2 matrix over (Up, Reclaimed).
+struct UrMatrix {
+  double uu = 1.0;  ///< P(UP -> UP)
+  double ur = 0.0;  ///< P(UP -> RECLAIMED)
+  double ru = 0.0;  ///< P(RECLAIMED -> UP)
+  double rr = 0.0;  ///< P(RECLAIMED -> RECLAIMED)
+
+  /// Dominant eigenvalue. For a nonnegative 2x2 matrix the discriminant
+  /// (uu-rr)^2 + 4*ur*ru is nonnegative, so both eigenvalues are real.
+  [[nodiscard]] double lambda1() const noexcept;
+
+  /// True when no mass leaks to DOWN (both rows sum to 1).
+  [[nodiscard]] bool failure_free() const noexcept {
+    return uu + ur >= 1.0 - 1e-12 && ru + rr >= 1.0 - 1e-12;
+  }
+};
+
+/// Extract the UR sub-matrix of a full 3-state transition matrix.
+[[nodiscard]] UrMatrix ur_submatrix(const TransitionMatrix& m) noexcept;
+
+/// Row vector e_state^T * M^t, advanced one step at a time.
+/// Tracks, for a processor starting UP, the probability of being UP (`u`)
+/// or RECLAIMED (`r`) at the current step without ever having been DOWN.
+struct UrRow {
+  double u = 1.0;
+  double r = 0.0;
+
+  void advance(const UrMatrix& m) noexcept {
+    const double nu = u * m.uu + r * m.ru;
+    const double nr = u * m.ur + r * m.rr;
+    u = nu;
+    r = nr;
+  }
+
+  /// P(not DOWN so far) = u + r.
+  [[nodiscard]] double survival() const noexcept { return u + r; }
+};
+
+/// P^{(q)}_{u -t-> u} = (M^t)[u][u].
+[[nodiscard]] double p_up_to_up(const UrMatrix& m, std::size_t t) noexcept;
+
+/// Probability that a processor starting UP does not visit DOWN during the
+/// next t slots (in any non-DOWN end state). This is the paper's P_ND(t).
+[[nodiscard]] double p_no_down(const UrMatrix& m, std::size_t t) noexcept;
+
+}  // namespace tcgrid::markov

@@ -1,0 +1,56 @@
+// The paper's 3-state processor availability model (§III-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tcgrid::markov {
+
+/// Availability state of one processor during one time slot.
+///
+/// UP         — available, can communicate and compute.
+/// RECLAIMED  — preempted by its owner: keeps program/data and partial
+///              transfers, but everything it participates in is suspended.
+/// DOWN       — crashed: loses the program, all task data, any partial
+///              transfer, and aborts the iteration it was enrolled in.
+enum class State : std::uint8_t { Up = 0, Reclaimed = 1, Down = 2 };
+
+inline constexpr std::size_t kNumStates = 3;
+inline constexpr std::array<State, kNumStates> kAllStates = {
+    State::Up, State::Reclaimed, State::Down};
+
+[[nodiscard]] constexpr std::string_view to_string(State s) noexcept {
+  switch (s) {
+    case State::Up: return "UP";
+    case State::Reclaimed: return "RECLAIMED";
+    case State::Down: return "DOWN";
+  }
+  return "?";
+}
+
+/// One-character code used by trace files and the ASCII Gantt renderer.
+[[nodiscard]] constexpr char code(State s) noexcept {
+  switch (s) {
+    case State::Up: return 'u';
+    case State::Reclaimed: return 'r';
+    case State::Down: return 'd';
+  }
+  return '?';
+}
+
+/// True for the three characters produced by code(). Callers validate with
+/// this before using state_from_code().
+[[nodiscard]] constexpr bool is_state_code(char c) noexcept {
+  return c == 'u' || c == 'r' || c == 'd';
+}
+
+[[nodiscard]] constexpr State state_from_code(char c) noexcept {
+  switch (c) {
+    case 'r': return State::Reclaimed;
+    case 'd': return State::Down;
+    default: return State::Up;
+  }
+}
+
+}  // namespace tcgrid::markov

@@ -1,0 +1,79 @@
+#include "markov/transition_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcgrid::markov {
+
+TransitionMatrix::TransitionMatrix()
+    : p_{{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}}} {}
+
+TransitionMatrix::TransitionMatrix(const std::array<std::array<double, 3>, 3>& p)
+    : p_(p) {
+  for (const auto& row : p_) {
+    double sum = 0.0;
+    for (double v : row) {
+      if (v < -1e-12 || v > 1.0 + 1e-12) {
+        throw std::invalid_argument("TransitionMatrix: entry outside [0,1]");
+      }
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > 1e-9) {
+      throw std::invalid_argument("TransitionMatrix: row does not sum to 1");
+    }
+  }
+}
+
+TransitionMatrix TransitionMatrix::paper_random(util::Rng& rng) {
+  const double uu = rng.uniform(0.90, 0.99);
+  const double rr = rng.uniform(0.90, 0.99);
+  const double dd = rng.uniform(0.90, 0.99);
+  return from_self_loops(uu, rr, dd);
+}
+
+TransitionMatrix TransitionMatrix::from_self_loops(double uu, double rr, double dd) {
+  auto row = [](double self, std::size_t pos) {
+    const double other = 0.5 * (1.0 - self);
+    std::array<double, 3> r{other, other, other};
+    r[pos] = self;
+    return r;
+  };
+  return TransitionMatrix({row(uu, 0), row(rr, 1), row(dd, 2)});
+}
+
+std::array<double, 3> TransitionMatrix::stationary() const {
+  // Solve pi (P - I) = 0 with the normalization sum(pi) = 1, i.e. the linear
+  // system A^T x = b where we replace the last equation by the normalizer.
+  // 3x3 Gaussian elimination with partial pivoting is plenty.
+  double a[3][4] = {};
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      a[j][i] = p_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] -
+                (i == j ? 1.0 : 0.0);
+    }
+    a[j][3] = 0.0;
+  }
+  for (int i = 0; i < 3; ++i) a[2][i] = 1.0;
+  a[2][3] = 1.0;
+
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    if (std::abs(a[col][col]) < 1e-14) {
+      throw std::runtime_error("TransitionMatrix::stationary: singular system");
+    }
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (int c = col; c < 4; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  std::array<double, 3> pi{};
+  for (int i = 0; i < 3; ++i) pi[static_cast<std::size_t>(i)] = a[i][3] / a[i][i];
+  return pi;
+}
+
+}  // namespace tcgrid::markov

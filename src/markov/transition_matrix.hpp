@@ -1,0 +1,59 @@
+// Row-stochastic 3x3 transition matrix over {UP, RECLAIMED, DOWN}.
+//
+// Per the paper (§V): "The availability of processor Pq is described by a
+// 3-state recurrent aperiodic Markov chain, defined by 9 probabilities
+// P(q)_{i,j}".  The paper's experimental instantiation (§VII-A) picks the
+// diagonal self-loop probabilities uniformly in [0.90, 0.99] and splits the
+// remainder evenly between the two other states; `paper_random` implements
+// exactly that.
+#pragma once
+
+#include <array>
+
+#include "markov/state.hpp"
+#include "util/rng.hpp"
+
+namespace tcgrid::markov {
+
+class TransitionMatrix {
+ public:
+  /// Identity-like default: processor stays UP forever.
+  TransitionMatrix();
+
+  /// Construct from a full 3x3 row-major array. Throws std::invalid_argument
+  /// unless every row is a probability distribution (within 1e-9).
+  explicit TransitionMatrix(const std::array<std::array<double, 3>, 3>& p);
+
+  /// P(from -> to) in one time slot.
+  [[nodiscard]] double prob(State from, State to) const noexcept {
+    return p_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
+
+  /// The paper's experimental model: self-loops ~ U[0.90,0.99] per state,
+  /// off-diagonals 0.5 * (1 - self-loop).
+  [[nodiscard]] static TransitionMatrix paper_random(util::Rng& rng);
+
+  /// Convenience builder from the three self-loop probabilities, splitting
+  /// the off-diagonal mass evenly (the paper's parameterization).
+  [[nodiscard]] static TransitionMatrix from_self_loops(double uu, double rr, double dd);
+
+  /// A processor that can never fail (no transition into DOWN) makes the
+  /// coupled-computation success probability 1 (paper §V-A: "Otherwise,
+  /// P+(S) = 1"). Series code special-cases this.
+  [[nodiscard]] bool failure_free() const noexcept {
+    return prob(State::Up, State::Down) == 0.0 &&
+           prob(State::Reclaimed, State::Down) == 0.0;
+  }
+
+  /// Stationary distribution pi (pi P = pi, sum 1). The chain in this study
+  /// is recurrent and aperiodic, so it exists and is unique.
+  [[nodiscard]] std::array<double, 3> stationary() const;
+
+  /// Long-run fraction of time the processor is UP.
+  [[nodiscard]] double availability() const { return stationary()[0]; }
+
+ private:
+  std::array<std::array<double, 3>, 3> p_;
+};
+
+}  // namespace tcgrid::markov

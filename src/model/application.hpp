@@ -1,0 +1,32 @@
+// The paper's application model (§III-A): an iterative, tightly-coupled
+// master-worker computation.
+#pragma once
+
+#include <stdexcept>
+
+namespace tcgrid::model {
+
+/// Static description of the application.
+///
+/// Each iteration executes `num_tasks` identical tasks that communicate
+/// throughout, so all enrolled workers must progress in lock-step; a global
+/// synchronization ends each iteration. Before computing, a worker needs the
+/// program (`t_prog` slots of master bandwidth, once per UP-lifetime) and one
+/// data message per assigned task per iteration (`t_data` slots each).
+struct Application {
+  int num_tasks = 1;    ///< m: tasks per iteration
+  long t_prog = 0;      ///< T_prog = V_prog / bw, in time slots
+  long t_data = 0;      ///< T_data = V_data / bw, in time slots
+  int iterations = 10;  ///< target number of iterations (paper fixes 10)
+
+  /// Validate invariants; throws std::invalid_argument on violation.
+  void validate() const {
+    if (num_tasks < 1) throw std::invalid_argument("Application: num_tasks < 1");
+    if (t_prog < 0 || t_data < 0) {
+      throw std::invalid_argument("Application: negative communication time");
+    }
+    if (iterations < 1) throw std::invalid_argument("Application: iterations < 1");
+  }
+};
+
+}  // namespace tcgrid::model

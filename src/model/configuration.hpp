@@ -1,0 +1,89 @@
+// A configuration: the set of enrolled workers and their task counts
+// (paper §III-C, "config(t)").
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tcgrid::model {
+
+/// One enrolled worker and its load.
+struct Assignment {
+  int proc = -1;  ///< processor index in the platform
+  int tasks = 0;  ///< x_q >= 1 tasks executed concurrently on this worker
+};
+
+/// The mapping of the iteration's m tasks onto k <= m workers.
+///
+/// Assignment order is meaningful: the master serves communications in
+/// enrollment order (first enrolled, first served), which is the
+/// deterministic tie-break this library uses for the unspecified intra-slot
+/// bandwidth allocation (see DESIGN.md).
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<Assignment> assignments)
+      : assignments_(std::move(assignments)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return assignments_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return assignments_.size(); }
+  [[nodiscard]] std::span<const Assignment> assignments() const noexcept {
+    return assignments_;
+  }
+
+  /// Total tasks assigned (must equal m for a valid configuration).
+  [[nodiscard]] int total_tasks() const noexcept {
+    int sum = 0;
+    for (const auto& a : assignments_) sum += a.tasks;
+    return sum;
+  }
+
+  /// Tasks assigned to processor `proc` (0 if not enrolled).
+  [[nodiscard]] int tasks_on(int proc) const noexcept {
+    for (const auto& a : assignments_) {
+      if (a.proc == proc) return a.tasks;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] bool enrolled(int proc) const noexcept { return tasks_on(proc) > 0; }
+
+  /// W = max_q x_q * w_q: slots of simultaneous-UP computation the iteration
+  /// needs (all tasks progress at the pace of the most loaded worker).
+  [[nodiscard]] long compute_slots(std::span<const long> speeds) const {
+    long w = 0;
+    for (const auto& a : assignments_) {
+      const long load = static_cast<long>(a.tasks) * speeds[static_cast<std::size_t>(a.proc)];
+      if (load > w) w = load;
+    }
+    return w;
+  }
+
+  /// Append one more task to a worker (enrolling it if new). Used by the
+  /// incremental heuristics.
+  void add_task(int proc) {
+    for (auto& a : assignments_) {
+      if (a.proc == proc) {
+        ++a.tasks;
+        return;
+      }
+    }
+    assignments_.push_back({proc, 1});
+  }
+
+  [[nodiscard]] bool operator==(const Configuration& other) const {
+    if (assignments_.size() != other.assignments_.size()) return false;
+    for (std::size_t i = 0; i < assignments_.size(); ++i) {
+      if (assignments_[i].proc != other.assignments_[i].proc ||
+          assignments_[i].tasks != other.assignments_[i].tasks) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Assignment> assignments_;
+};
+
+}  // namespace tcgrid::model

@@ -1,0 +1,37 @@
+// What a worker currently holds (program / task data), paper §III-C.
+#pragma once
+
+namespace tcgrid::model {
+
+/// Per-worker possession state, maintained by the simulation engine and
+/// exposed (read-only) to schedulers.
+///
+/// Rules (paper §III-B/C):
+///  * the program survives until the worker goes DOWN;
+///  * completed data messages survive un-enrollment but not DOWN, and are
+///    reset at each iteration boundary (data is per-iteration);
+///  * a partially received message is lost if the worker goes DOWN or is
+///    removed from the configuration; it merely pauses while RECLAIMED.
+struct Holdings {
+  bool has_program = false;
+  int data_messages = 0;      ///< completed data messages this iteration (x'_q)
+  long partial_slots = 0;     ///< progress inside the in-flight message
+
+  /// DOWN: everything is lost.
+  void crash() noexcept {
+    has_program = false;
+    data_messages = 0;
+    partial_slots = 0;
+  }
+
+  /// Removed from the configuration: only the in-flight transfer is lost.
+  void unenroll() noexcept { partial_slots = 0; }
+
+  /// Iteration boundary: task data is per-iteration, the program persists.
+  void next_iteration() noexcept {
+    data_messages = 0;
+    partial_slots = 0;
+  }
+};
+
+}  // namespace tcgrid::model

@@ -1,0 +1,68 @@
+#include "offline/biclique.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tcgrid::offline {
+
+namespace {
+
+struct Search {
+  const OfflineInstance& inst;
+  int a;  // processors required
+  int b;  // common slots required
+  std::vector<int> order;  // row indices, largest UP-count first
+  std::vector<int> chosen;
+  BicliqueResult result;
+
+  bool recurse(std::size_t next, const SlotSet& inter) {
+    if (static_cast<int>(chosen.size()) == a) {
+      result.found = true;
+      result.procs = chosen;
+      auto idx = inter.indices();
+      idx.resize(static_cast<std::size_t>(b));
+      result.slots = std::move(idx);
+      return true;
+    }
+    const int still_needed = a - static_cast<int>(chosen.size());
+    if (static_cast<int>(order.size() - next) < still_needed) return false;
+
+    for (std::size_t i = next; i < order.size(); ++i) {
+      // Even taking every remaining row must leave enough candidates.
+      if (static_cast<int>(order.size() - i) < still_needed) return false;
+      SlotSet next_inter = inter;
+      next_inter.intersect(inst.row(order[i]));
+      if (static_cast<int>(next_inter.count()) < b) continue;
+      chosen.push_back(order[i]);
+      if (recurse(i + 1, next_inter)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+BicliqueResult find_biclique(const OfflineInstance& inst, int a, int b) {
+  BicliqueResult empty;
+  if (a < 1 || b < 1 || a > inst.procs() || b > inst.slots()) return empty;
+
+  Search s{inst, a, b, {}, {}, {}};
+  s.order.resize(static_cast<std::size_t>(inst.procs()));
+  std::iota(s.order.begin(), s.order.end(), 0);
+  // Rows with many UP slots first: deep intersections stay large longer and
+  // failures prune earlier.
+  std::stable_sort(s.order.begin(), s.order.end(), [&](int x, int y) {
+    return inst.row(x).count() > inst.row(y).count();
+  });
+  // Drop rows that cannot participate at all.
+  std::erase_if(s.order, [&](int r) { return static_cast<int>(inst.row(r).count()) < b; });
+
+  SlotSet all(static_cast<std::size_t>(inst.slots()));
+  for (int t = 0; t < inst.slots(); ++t) all.set(static_cast<std::size_t>(t));
+  if (!s.recurse(0, all)) return empty;
+  std::sort(s.result.procs.begin(), s.result.procs.end());
+  return s.result;
+}
+
+}  // namespace tcgrid::offline

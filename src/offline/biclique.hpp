@@ -1,0 +1,27 @@
+// Bounded bi-clique search: does the availability matrix contain an
+// all-ones a x b submatrix (a processors simultaneously UP during b slots)?
+//
+// This is the certificate structure of Theorem 4.1 — deciding it is NP-hard
+// in general (reduction from ENCD), so the solver is a branch-and-bound
+// exact search meant for small instances (tests, the offline example, and
+// sanity bounds for heuristic schedules).
+#pragma once
+
+#include <vector>
+
+#include "offline/instance.hpp"
+
+namespace tcgrid::offline {
+
+struct BicliqueResult {
+  bool found = false;
+  std::vector<int> procs;  ///< the a chosen processors (row indices)
+  std::vector<int> slots;  ///< b of the common UP slots (column indices)
+};
+
+/// Exact search for `a` rows whose common UP-slot intersection has size
+/// >= `b`. Rows are tried in decreasing popcount order with intersection-
+/// cardinality pruning. Worst case exponential in `procs`.
+[[nodiscard]] BicliqueResult find_biclique(const OfflineInstance& inst, int a, int b);
+
+}  // namespace tcgrid::offline

@@ -1,0 +1,146 @@
+#include "offline/clairvoyant.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace tcgrid::offline {
+
+namespace {
+
+markov::State state_at(const platform::StateTimeline& timeline, long slot, int q) {
+  if (slot >= static_cast<long>(timeline.size())) return markov::State::Up;
+  return timeline[static_cast<std::size_t>(slot)][static_cast<std::size_t>(q)];
+}
+
+}  // namespace
+
+long replay_completion(const platform::Platform& platform,
+                       const model::Application& app,
+                       const platform::StateTimeline& timeline,
+                       std::span<const model::Holdings> holdings,
+                       const model::Configuration& config, long start,
+                       long horizon) {
+  if (config.empty()) return -1;
+
+  // Local copies of the mutable per-worker transfer state.
+  struct WorkerReplay {
+    int proc;
+    int tasks;
+    bool has_program;
+    int data_messages;
+    long partial;
+  };
+  std::vector<WorkerReplay> workers;
+  workers.reserve(config.size());
+  for (const auto& a : config.assignments()) {
+    const auto& h = holdings[static_cast<std::size_t>(a.proc)];
+    // Candidates are priced as placed fresh: completed messages carry over,
+    // in-flight partial transfers do not (they are lost on installation).
+    workers.push_back({a.proc, a.tasks, h.has_program || app.t_prog == 0,
+                       app.t_data == 0 ? a.tasks : h.data_messages, 0});
+  }
+
+  const long w_total = config.compute_slots(platform.speeds());
+  long compute_done = 0;
+
+  auto remaining = [&](const WorkerReplay& w) {
+    long need = 0;
+    if (!w.has_program && app.t_prog > 0) need += app.t_prog;
+    need += static_cast<long>(std::max(0, w.tasks - w.data_messages)) * app.t_data;
+    return std::max(0L, need - w.partial);
+  };
+
+  for (long t = start; t < horizon; ++t) {
+    // DOWN anywhere aborts the replay.
+    bool any_down = false;
+    for (const auto& w : workers) {
+      if (state_at(timeline, t, w.proc) == markov::State::Down) {
+        any_down = true;
+        break;
+      }
+    }
+    if (any_down) return -1;
+
+    bool comm_pending = false;
+    for (const auto& w : workers) {
+      if (remaining(w) > 0) {
+        comm_pending = true;
+        break;
+      }
+    }
+
+    if (comm_pending) {
+      int served = 0;
+      for (auto& w : workers) {
+        if (served >= platform.ncom()) break;
+        if (state_at(timeline, t, w.proc) != markov::State::Up) continue;
+        if (remaining(w) == 0) continue;
+        const bool program = !w.has_program && app.t_prog > 0;
+        ++w.partial;
+        const long len = program ? app.t_prog : app.t_data;
+        if (w.partial >= len) {
+          w.partial = 0;
+          if (program) w.has_program = true;
+          else ++w.data_messages;
+        }
+        ++served;
+      }
+      continue;
+    }
+
+    // Compute phase: progress only when every enrolled worker is UP.
+    bool all_up = true;
+    for (const auto& w : workers) {
+      if (state_at(timeline, t, w.proc) != markov::State::Up) {
+        all_up = false;
+        break;
+      }
+    }
+    if (all_up && ++compute_done >= w_total) return t;
+  }
+  return -1;
+}
+
+ClairvoyantScheduler::ClairvoyantScheduler(const platform::Platform& platform,
+                                           const model::Application& app,
+                                           platform::StateTimeline timeline)
+    : platform_(platform), app_(app), timeline_(std::move(timeline)) {}
+
+std::optional<model::Configuration> ClairvoyantScheduler::decide(
+    const sim::SchedulerView& view) {
+  if (view.has_config()) return std::nullopt;
+  const int p = platform_.size();
+  const int m = app_.num_tasks;
+  // Give configurations a chance to finish after the scripted horizon (all
+  // UP there), but never replay forever.
+  const long horizon = static_cast<long>(timeline_.size()) +
+                       10L * (app_.t_prog + app_.t_data * m + 1);
+
+  model::Configuration cfg;
+  std::vector<int> loads(static_cast<std::size_t>(p), 0);
+  for (int task = 0; task < m; ++task) {
+    int best = -1;
+    long best_finish = std::numeric_limits<long>::max();
+    for (int q = 0; q < p; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (view.states[qi] != markov::State::Up) continue;
+      if (loads[qi] >= platform_.proc(q).max_tasks) continue;
+      model::Configuration candidate = cfg;
+      candidate.add_task(q);
+      const long finish = replay_completion(platform_, app_, timeline_,
+                                            view.holdings, candidate, view.slot,
+                                            horizon);
+      if (finish >= 0 && finish < best_finish) {
+        best_finish = finish;
+        best = q;
+      }
+    }
+    if (best < 0) return std::nullopt;  // no candidate can ever finish
+    cfg.add_task(best);
+    ++loads[static_cast<std::size_t>(best)];
+  }
+  return cfg;
+}
+
+}  // namespace tcgrid::offline

@@ -1,0 +1,58 @@
+// Clairvoyant scheduling: the paper's §IV off-line setting made operational.
+//
+// Theorem 4.1 shows that scheduling optimally with full knowledge of future
+// availability is NP-hard, so no polynomial reference is exact. This module
+// provides the strong greedy reference the evaluation can afford: a
+// scheduler that *knows the entire availability timeline* and places tasks
+// incrementally, scoring every candidate configuration by its exact
+// simulated completion slot (deterministic forward replay of the engine's
+// semantics). On-line heuristics can then be measured against a clairvoyant
+// — the gap quantifies how much the lack of future knowledge costs.
+#pragma once
+
+#include <optional>
+
+#include "model/application.hpp"
+#include "model/configuration.hpp"
+#include "model/holdings.hpp"
+#include "platform/platform.hpp"
+#include "platform/trace_io.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcgrid::offline {
+
+/// Deterministically replay one fixed configuration against a known
+/// timeline, mirroring the engine's semantics (enrollment-order service
+/// under ncom, lock-step compute, RECLAIMED pauses, DOWN aborts).
+///
+/// Returns the slot at which the iteration's last compute slot lands, or -1
+/// if some enrolled worker goes DOWN (or the timeline ends) first.
+/// `holdings` is the per-processor possession snapshot at `start` (not
+/// modified). Slots beyond the timeline are treated as all-UP, matching
+/// platform::FixedAvailability.
+[[nodiscard]] long replay_completion(const platform::Platform& platform,
+                                     const model::Application& app,
+                                     const platform::StateTimeline& timeline,
+                                     std::span<const model::Holdings> holdings,
+                                     const model::Configuration& config, long start,
+                                     long horizon);
+
+/// Passive scheduler with perfect future knowledge: builds a configuration
+/// by incremental task placement, scoring candidates by replay_completion.
+/// Use with a platform::FixedAvailability over the *same* timeline.
+class ClairvoyantScheduler final : public sim::Scheduler {
+ public:
+  ClairvoyantScheduler(const platform::Platform& platform,
+                       const model::Application& app,
+                       platform::StateTimeline timeline);
+
+  std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "CLAIRVOYANT"; }
+
+ private:
+  const platform::Platform& platform_;
+  const model::Application& app_;
+  platform::StateTimeline timeline_;
+};
+
+}  // namespace tcgrid::offline

@@ -1,0 +1,72 @@
+#include "offline/encd.hpp"
+
+#include <functional>
+
+namespace tcgrid::offline {
+
+BipartiteGraph BipartiteGraph::random(int left, int right, double density,
+                                      util::Rng& rng) {
+  BipartiteGraph g(left, right);
+  for (int v = 0; v < left; ++v) {
+    for (int w = 0; w < right; ++w) {
+      if (rng.uniform01() < density) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+OfflineInstance encd_to_offline_mu1(const BipartiteGraph& g) {
+  OfflineInstance inst(g.left(), g.right());
+  for (int v = 0; v < g.left(); ++v) {
+    for (int w = 0; w < g.right(); ++w) {
+      if (g.edge(v, w)) inst.set_up(v, w);
+    }
+  }
+  return inst;
+}
+
+OfflineInstance encd_to_offline_muinf(const BipartiteGraph& g) {
+  // N = 2|W| + 1: the original |W| columns followed by |W|+1 all-UP slots.
+  const int extra = g.right() + 1;
+  OfflineInstance inst(g.left(), g.right() + extra);
+  for (int v = 0; v < g.left(); ++v) {
+    for (int w = 0; w < g.right(); ++w) {
+      if (g.edge(v, w)) inst.set_up(v, w);
+    }
+    for (int t = g.right(); t < g.right() + extra; ++t) inst.set_up(v, t);
+  }
+  return inst;
+}
+
+bool encd_brute_force(const BipartiteGraph& g, int a, int b) {
+  if (a < 1 || b < 1 || a > g.left() || b > g.right()) return false;
+  // Choose every a-subset of V; a bi-clique with exactly b right nodes
+  // exists iff the common neighborhood has size >= b (any b of them do).
+  std::vector<int> chosen;
+  std::function<bool(int)> rec = [&](int next) -> bool {
+    if (static_cast<int>(chosen.size()) == a) {
+      int common = 0;
+      for (int w = 0; w < g.right(); ++w) {
+        bool all = true;
+        for (int v : chosen) {
+          if (!g.edge(v, w)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) ++common;
+      }
+      return common >= b;
+    }
+    for (int v = next; v < g.left(); ++v) {
+      if (g.left() - v < a - static_cast<int>(chosen.size())) return false;
+      chosen.push_back(v);
+      if (rec(v + 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  return rec(0);
+}
+
+}  // namespace tcgrid::offline

@@ -1,0 +1,62 @@
+// The Exact Node Cardinality Decision (ENCD) problem and the Theorem 4.1
+// reductions from it to OFFLINE-COUPLED.
+//
+// ENCD (Dawande et al. 2001): given a bipartite graph G = (V u W, E) and
+// integers a, b, does G contain a bi-clique with exactly a nodes in V and
+// b nodes in W?
+//
+// Reduction (i), mu = 1:    processor i is UP at slot j iff (v_i, w_j) in E;
+//                           m = a, w = b.
+// Reduction (ii), mu = inf: same matrix followed by |W|+1 all-UP slots;
+//                           m = a, w = b + |W| + 1.
+//
+// Tests verify both reductions against a brute-force ENCD oracle, which is
+// the executable content of the paper's NP-hardness proof.
+#pragma once
+
+#include <vector>
+
+#include "offline/instance.hpp"
+#include "util/rng.hpp"
+
+namespace tcgrid::offline {
+
+/// Bipartite graph on V (left, size `left`) and W (right, size `right`).
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int left, int right)
+      : left_(left), right_(right),
+        adj_(static_cast<std::size_t>(left),
+             std::vector<bool>(static_cast<std::size_t>(right), false)) {}
+
+  [[nodiscard]] int left() const noexcept { return left_; }
+  [[nodiscard]] int right() const noexcept { return right_; }
+
+  void add_edge(int v, int w) {
+    adj_[static_cast<std::size_t>(v)][static_cast<std::size_t>(w)] = true;
+  }
+  [[nodiscard]] bool edge(int v, int w) const {
+    return adj_[static_cast<std::size_t>(v)][static_cast<std::size_t>(w)];
+  }
+
+  /// Erdos–Renyi random bipartite graph (each edge present w.p. `density`).
+  [[nodiscard]] static BipartiteGraph random(int left, int right, double density,
+                                             util::Rng& rng);
+
+ private:
+  int left_, right_;
+  std::vector<std::vector<bool>> adj_;
+};
+
+/// Theorem 4.1 (i): ENCD instance -> OFFLINE-COUPLED(mu = 1) instance.
+[[nodiscard]] OfflineInstance encd_to_offline_mu1(const BipartiteGraph& g);
+
+/// Theorem 4.1 (ii): ENCD instance -> OFFLINE-COUPLED(mu = inf) instance.
+/// The matching workload is w = b + |W| + 1 (see the paper's proof).
+[[nodiscard]] OfflineInstance encd_to_offline_muinf(const BipartiteGraph& g);
+
+/// Brute-force ENCD oracle: does G contain a bi-clique with exactly a nodes
+/// in V and b in W? Exponential in `left`; for tests and small instances.
+[[nodiscard]] bool encd_brute_force(const BipartiteGraph& g, int a, int b);
+
+}  // namespace tcgrid::offline

@@ -1,0 +1,37 @@
+#include "offline/exact_solver.hpp"
+
+namespace tcgrid::offline {
+
+BicliqueResult solve_mu1(const OfflineInstance& inst, int m, int w) {
+  return find_biclique(inst, m, w);
+}
+
+MuInfResult solve_muinf(const OfflineInstance& inst, int m, int w) {
+  MuInfResult out;
+  for (int j = 1; j <= m; ++j) {
+    const int workers = (m + j - 1) / j;  // ceil(m / j)
+    const int slots = j * w;
+    if (slots > inst.slots()) break;  // larger j only needs more slots
+    BicliqueResult r = find_biclique(inst, workers, slots);
+    if (r.found) {
+      out.found = true;
+      out.tasks_per_worker = j;
+      out.certificate = std::move(r);
+      return out;
+    }
+  }
+  return out;
+}
+
+int max_coupled_slots(const OfflineInstance& inst, int m) {
+  int lo = 0, hi = inst.slots();
+  // Invariant: feasible at lo (w = 0 trivially), unknown above hi.
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (find_biclique(inst, m, mid).found) lo = mid;
+    else hi = mid - 1;
+  }
+  return lo;
+}
+
+}  // namespace tcgrid::offline

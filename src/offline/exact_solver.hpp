@@ -1,0 +1,32 @@
+// Exact decision procedures for OFFLINE-COUPLED (paper §IV).
+//
+// OFFLINE-COUPLED(mu = 1):  no communications, identical workers (w_q = w),
+// one task per worker — feasible iff m workers are simultaneously UP during
+// at least w slots.
+//
+// OFFLINE-COUPLED(mu = inf): workers may stack tasks — feasible iff for some
+// j >= 1, ceil(m/j) workers are simultaneously UP during j*w slots.
+#pragma once
+
+#include "offline/biclique.hpp"
+#include "offline/instance.hpp"
+
+namespace tcgrid::offline {
+
+/// Decision + certificate for the mu = 1 variant.
+[[nodiscard]] BicliqueResult solve_mu1(const OfflineInstance& inst, int m, int w);
+
+/// Decision + certificate for the mu = inf variant. On success,
+/// `tasks_per_worker` gives the stacking factor j used by the certificate.
+struct MuInfResult {
+  bool found = false;
+  int tasks_per_worker = 0;  ///< j
+  BicliqueResult certificate;
+};
+[[nodiscard]] MuInfResult solve_muinf(const OfflineInstance& inst, int m, int w);
+
+/// Largest w for which the mu = 1 problem is feasible (0 if even w = 1 is
+/// not). Feasibility is monotone decreasing in w, so binary search applies.
+[[nodiscard]] int max_coupled_slots(const OfflineInstance& inst, int m);
+
+}  // namespace tcgrid::offline

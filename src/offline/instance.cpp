@@ -1,0 +1,27 @@
+#include "offline/instance.hpp"
+
+#include <stdexcept>
+
+namespace tcgrid::offline {
+
+OfflineInstance OfflineInstance::from_timeline(
+    const std::vector<std::vector<markov::State>>& timeline) {
+  if (timeline.empty()) throw std::invalid_argument("from_timeline: empty timeline");
+  const int slots = static_cast<int>(timeline.size());
+  const int procs = static_cast<int>(timeline.front().size());
+  OfflineInstance inst(procs, slots);
+  for (int t = 0; t < slots; ++t) {
+    if (static_cast<int>(timeline[static_cast<std::size_t>(t)].size()) != procs) {
+      throw std::invalid_argument("from_timeline: ragged timeline");
+    }
+    for (int q = 0; q < procs; ++q) {
+      if (timeline[static_cast<std::size_t>(t)][static_cast<std::size_t>(q)] ==
+          markov::State::Up) {
+        inst.set_up(q, t);
+      }
+    }
+  }
+  return inst;
+}
+
+}  // namespace tcgrid::offline

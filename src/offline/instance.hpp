@@ -1,0 +1,77 @@
+// The off-line scheduling problem of §IV: availability is known in advance
+// as a p x N boolean matrix (UP or not), and one asks whether m workers can
+// be simultaneously UP during w (not necessarily consecutive) slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/state.hpp"
+
+namespace tcgrid::offline {
+
+/// Dynamic bitset over time slots (columns of the availability matrix).
+class SlotSet {
+ public:
+  explicit SlotSet(std::size_t bits = 0) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// In-place intersection; both operands must have equal size.
+  void intersect(const SlotSet& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Indices of set bits, ascending.
+  [[nodiscard]] std::vector<int> indices() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < bits_; ++i) {
+      if (test(i)) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+
+ private:
+  std::size_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Off-line availability: one SlotSet of UP slots per processor.
+class OfflineInstance {
+ public:
+  OfflineInstance(int procs, int slots) : slots_(slots) {
+    rows_.assign(static_cast<std::size_t>(procs), SlotSet(static_cast<std::size_t>(slots)));
+  }
+
+  [[nodiscard]] int procs() const noexcept { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] int slots() const noexcept { return slots_; }
+
+  void set_up(int proc, int slot) { rows_[static_cast<std::size_t>(proc)].set(static_cast<std::size_t>(slot)); }
+  [[nodiscard]] bool up(int proc, int slot) const {
+    return rows_[static_cast<std::size_t>(proc)].test(static_cast<std::size_t>(slot));
+  }
+  [[nodiscard]] const SlotSet& row(int proc) const {
+    return rows_[static_cast<std::size_t>(proc)];
+  }
+
+  /// Build from a recorded 3-state timeline (UP -> available).
+  [[nodiscard]] static OfflineInstance from_timeline(
+      const std::vector<std::vector<markov::State>>& timeline);
+
+ private:
+  int slots_;
+  std::vector<SlotSet> rows_;
+};
+
+}  // namespace tcgrid::offline

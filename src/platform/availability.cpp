@@ -1,0 +1,51 @@
+#include "platform/availability.hpp"
+
+#include <stdexcept>
+
+namespace tcgrid::platform {
+
+MarkovAvailability::MarkovAvailability(const Platform& platform, std::uint64_t seed,
+                                       InitialStates init)
+    : platform_(platform), rng_(seed) {
+  states_.resize(static_cast<std::size_t>(platform.size()));
+  for (int q = 0; q < platform.size(); ++q) {
+    if (init == InitialStates::AllUp) {
+      states_[static_cast<std::size_t>(q)] = markov::State::Up;
+      // Consume one draw anyway so both modes use identical stream layouts.
+      (void)rng_.uniform01();
+      continue;
+    }
+    const auto pi = platform.proc(q).availability.stationary();
+    const double u = rng_.uniform01();
+    markov::State s = markov::State::Down;
+    if (u < pi[0]) s = markov::State::Up;
+    else if (u < pi[0] + pi[1]) s = markov::State::Reclaimed;
+    states_[static_cast<std::size_t>(q)] = s;
+  }
+}
+
+void MarkovAvailability::advance() {
+  for (int q = 0; q < platform_.size(); ++q) {
+    auto& s = states_[static_cast<std::size_t>(q)];
+    s = markov::step(platform_.proc(q).availability, s, rng_);
+  }
+}
+
+FixedAvailability::FixedAvailability(std::vector<std::vector<markov::State>> timeline)
+    : timeline_(std::move(timeline)) {
+  if (timeline_.empty()) throw std::invalid_argument("FixedAvailability: empty timeline");
+  procs_ = static_cast<int>(timeline_.front().size());
+  for (const auto& row : timeline_) {
+    if (static_cast<int>(row.size()) != procs_) {
+      throw std::invalid_argument("FixedAvailability: ragged timeline");
+    }
+  }
+}
+
+markov::State FixedAvailability::state(int q) const {
+  if (q < 0 || q >= procs_) throw std::out_of_range("FixedAvailability::state");
+  if (slot_ >= static_cast<long>(timeline_.size())) return markov::State::Up;
+  return timeline_[static_cast<std::size_t>(slot_)][static_cast<std::size_t>(q)];
+}
+
+}  // namespace tcgrid::platform

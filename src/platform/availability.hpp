@@ -1,0 +1,78 @@
+// Sources of per-slot processor availability.
+//
+// The engine pulls states one slot at a time through the AvailabilitySource
+// interface. The Markov implementation draws exactly one uniform per
+// processor per slot in processor order, so a realization is a pure function
+// of its seed — every heuristic evaluated on the same trial sees the same
+// availability (paired comparisons, as in the paper's methodology).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "markov/state.hpp"
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace tcgrid::platform {
+
+/// Abstract per-slot availability stream for `p` processors.
+class AvailabilitySource {
+ public:
+  virtual ~AvailabilitySource() = default;
+
+  /// Number of processors.
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// State of processor q at the current slot.
+  [[nodiscard]] virtual markov::State state(int q) const = 0;
+
+  /// Advance to the next slot.
+  virtual void advance() = 0;
+};
+
+/// How MarkovAvailability chooses states for slot 0.
+enum class InitialStates {
+  AllUp,       ///< every processor starts UP
+  Stationary,  ///< sampled from each chain's stationary distribution
+};
+
+/// Lazy sampler of the paper's independent per-processor Markov chains.
+class MarkovAvailability final : public AvailabilitySource {
+ public:
+  MarkovAvailability(const Platform& platform, std::uint64_t seed,
+                     InitialStates init = InitialStates::Stationary);
+
+  [[nodiscard]] int size() const override { return static_cast<int>(states_.size()); }
+  [[nodiscard]] markov::State state(int q) const override {
+    return states_[static_cast<std::size_t>(q)];
+  }
+  void advance() override;
+
+ private:
+  const Platform& platform_;
+  util::Rng rng_;
+  std::vector<markov::State> states_;
+};
+
+/// Fixed, scripted availability (used by tests and the Figure 1 example).
+/// Beyond the scripted horizon all processors are reported UP.
+class FixedAvailability final : public AvailabilitySource {
+ public:
+  /// `timeline[t][q]` is the state of processor q at slot t.
+  explicit FixedAvailability(std::vector<std::vector<markov::State>> timeline);
+
+  [[nodiscard]] int size() const override { return procs_; }
+  [[nodiscard]] markov::State state(int q) const override;
+  void advance() override { ++slot_; }
+
+  [[nodiscard]] long slot() const noexcept { return slot_; }
+
+ private:
+  std::vector<std::vector<markov::State>> timeline_;
+  int procs_;
+  long slot_ = 0;
+};
+
+}  // namespace tcgrid::platform

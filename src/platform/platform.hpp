@@ -1,0 +1,48 @@
+// The desktop-grid platform: processors plus the bounded multi-port master.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "platform/processor.hpp"
+
+namespace tcgrid::platform {
+
+/// A set of volatile processors served by one master whose bandwidth allows
+/// at most `ncom = floor(BW/bw)` simultaneous transfers (paper §III-B).
+class Platform {
+ public:
+  Platform(std::vector<Processor> procs, int ncom) : procs_(std::move(procs)), ncom_(ncom) {
+    if (ncom_ < 1) throw std::invalid_argument("Platform: ncom < 1");
+    for (std::size_t q = 0; q < procs_.size(); ++q) {
+      procs_[q].id = static_cast<int>(q);
+      if (!procs_[q].valid()) throw std::invalid_argument("Platform: invalid processor");
+    }
+    speeds_.reserve(procs_.size());
+    for (const auto& p : procs_) speeds_.push_back(p.speed);
+  }
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(procs_.size()); }
+  [[nodiscard]] int ncom() const noexcept { return ncom_; }
+  [[nodiscard]] const Processor& proc(int q) const { return procs_.at(static_cast<std::size_t>(q)); }
+  [[nodiscard]] std::span<const Processor> procs() const noexcept { return procs_; }
+
+  /// Speeds indexed by processor id (for Configuration::compute_slots).
+  [[nodiscard]] std::span<const long> speeds() const noexcept { return speeds_; }
+
+  /// Sum of mu_q over the given processors; a configuration is only possible
+  /// when this is >= m (paper §III-C).
+  [[nodiscard]] long capacity(std::span<const int> ids) const {
+    long sum = 0;
+    for (int q : ids) sum += proc(q).max_tasks;
+    return sum;
+  }
+
+ private:
+  std::vector<Processor> procs_;
+  int ncom_;
+  std::vector<long> speeds_;
+};
+
+}  // namespace tcgrid::platform

@@ -1,0 +1,18 @@
+// One volatile processor of the desktop grid (paper §III-B).
+#pragma once
+
+#include "markov/transition_matrix.hpp"
+
+namespace tcgrid::platform {
+
+/// Static description of a processor / worker.
+struct Processor {
+  int id = 0;
+  long speed = 1;     ///< w_q: time slots to compute one task while UP
+  int max_tasks = 1;  ///< mu_q: max tasks executed concurrently (memory bound)
+  markov::TransitionMatrix availability;  ///< 3-state Markov model
+
+  [[nodiscard]] bool valid() const noexcept { return speed >= 1 && max_tasks >= 1; }
+};
+
+}  // namespace tcgrid::platform

@@ -1,0 +1,38 @@
+#include "platform/scenario.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace tcgrid::platform {
+
+Scenario make_scenario(const ScenarioParams& params) {
+  if (params.m < 1 || params.ncom < 1 || params.wmin < 1 || params.p < 1) {
+    throw std::invalid_argument("make_scenario: invalid parameters");
+  }
+  util::Rng rng(params.seed);
+
+  std::vector<Processor> procs;
+  procs.reserve(static_cast<std::size_t>(params.p));
+  for (int q = 0; q < params.p; ++q) {
+    Processor pr;
+    pr.id = q;
+    pr.availability = markov::TransitionMatrix::paper_random(rng);
+    pr.speed = rng.uniform_int(params.wmin, 10 * params.wmin);
+    // The paper does not bound concurrent tasks per worker in its
+    // experiments; mu_q = m makes the bound inert while keeping the model
+    // general (see DESIGN.md).
+    pr.max_tasks = params.m;
+    procs.push_back(pr);
+  }
+
+  model::Application app;
+  app.num_tasks = params.m;
+  app.t_data = params.wmin;
+  app.t_prog = 5 * params.wmin;
+  app.iterations = params.iterations;
+  app.validate();
+
+  return Scenario{Platform(std::move(procs), params.ncom), app, params};
+}
+
+}  // namespace tcgrid::platform

@@ -1,0 +1,41 @@
+// The paper's experimental scenario generator (§VII-A).
+//
+// An experimental scenario is defined by (m, ncom, wmin) plus random draws:
+//   * p = 20 processors;
+//   * each self-loop probability P^{(q)}_{x,x} ~ U[0.90, 0.99], off-diagonals
+//     split evenly: P^{(q)}_{x,y} = 0.5 (1 - P^{(q)}_{x,x});
+//   * w_q ~ U[wmin, 10*wmin] (integral slots);
+//   * T_data = wmin (the fastest possible processor has compute/comm ratio 1);
+//   * T_prog = 5 * wmin.
+#pragma once
+
+#include <cstdint>
+
+#include "model/application.hpp"
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace tcgrid::platform {
+
+/// Identity of one experimental scenario in the paper's sweep.
+struct ScenarioParams {
+  int m = 5;               ///< tasks per iteration
+  int ncom = 5;            ///< master's concurrent communication bound
+  long wmin = 1;           ///< synthetic difficulty knob
+  int p = 20;              ///< processors (paper fixes 20)
+  int iterations = 10;     ///< iterations to makespan (paper fixes 10)
+  std::uint64_t seed = 0;  ///< scenario randomness (platform draws)
+};
+
+/// A fully instantiated scenario: platform + application.
+struct Scenario {
+  Platform platform;
+  model::Application app;
+  ScenarioParams params;
+};
+
+/// Instantiate the paper's random scenario for the given parameters.
+/// Deterministic in `params` (including the seed).
+[[nodiscard]] Scenario make_scenario(const ScenarioParams& params);
+
+}  // namespace tcgrid::platform

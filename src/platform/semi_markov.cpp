@@ -1,0 +1,51 @@
+#include "platform/semi_markov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcgrid::platform {
+
+SemiMarkovAvailability::SemiMarkovAvailability(std::vector<SemiMarkovParams> per_proc,
+                                               std::uint64_t seed)
+    : params_(std::move(per_proc)), rng_(seed) {
+  if (params_.empty()) throw std::invalid_argument("SemiMarkovAvailability: empty");
+  states_.assign(params_.size(), markov::State::Up);
+  remaining_.assign(params_.size(), 0);
+  for (std::size_t q = 0; q < params_.size(); ++q) resample_holding(q);
+}
+
+void SemiMarkovAvailability::resample_holding(std::size_t q) {
+  const auto s = static_cast<std::size_t>(states_[q]);
+  const double draw = rng_.weibull(params_[q].shape[s], params_[q].scale[s]);
+  remaining_[q] = std::max(1L, static_cast<long>(std::ceil(draw)));
+}
+
+void SemiMarkovAvailability::advance() {
+  for (std::size_t q = 0; q < params_.size(); ++q) {
+    if (--remaining_[q] > 0) continue;
+    // Sojourn over: jump to a different state via the embedded chain.
+    const auto& row = params_[q].jump[static_cast<std::size_t>(states_[q])];
+    const double u = rng_.uniform01();
+    markov::State next = markov::State::Down;
+    if (u < row[0]) next = markov::State::Up;
+    else if (u < row[0] + row[1]) next = markov::State::Reclaimed;
+    states_[q] = next;
+    resample_holding(q);
+  }
+}
+
+StateTimeline record(AvailabilitySource& source, long slots) {
+  StateTimeline timeline;
+  timeline.reserve(static_cast<std::size_t>(slots));
+  for (long t = 0; t < slots; ++t) {
+    std::vector<markov::State> row(static_cast<std::size_t>(source.size()));
+    for (int q = 0; q < source.size(); ++q) {
+      row[static_cast<std::size_t>(q)] = source.state(q);
+    }
+    timeline.push_back(std::move(row));
+    source.advance();
+  }
+  return timeline;
+}
+
+}  // namespace tcgrid::platform

@@ -1,0 +1,60 @@
+// Non-Markovian (semi-Markov) availability with Weibull holding times.
+//
+// Production desktop-grid studies (Nurmi et al. 2005, Wolski et al. 2007,
+// Javadi et al. 2009 — the paper's refs [18,19,20]) observe that availability
+// interval lengths are often Weibull- or log-normal-like, not geometric.
+// The paper's §VII-B proposes, as future work, fitting a "flawed" Markov
+// model to such traces and measuring how wrong the Markov heuristics become.
+//
+// This module implements that experiment's substrate: a semi-Markov process
+// whose state *sequence* follows an embedded chain but whose holding times
+// are Weibull-distributed (shape < 1 gives the heavy tails seen in traces).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "platform/availability.hpp"
+#include "platform/trace_io.hpp"
+
+namespace tcgrid::platform {
+
+/// Parameters of a per-processor semi-Markov availability process.
+struct SemiMarkovParams {
+  /// Embedded jump chain: probability of the next state given the current
+  /// one (diagonal must be 0 — holding is modelled by the sojourn times).
+  std::array<std::array<double, 3>, 3> jump{{{0.0, 0.5, 0.5},
+                                             {0.5, 0.0, 0.5},
+                                             {0.5, 0.5, 0.0}}};
+  /// Weibull shape per state (shape < 1 = heavy tail, 1 = memoryless).
+  std::array<double, 3> shape{0.7, 0.7, 0.7};
+  /// Weibull scale per state, in time slots.
+  std::array<double, 3> scale{20.0, 10.0, 10.0};
+};
+
+/// Semi-Markov availability source (sojourn in each state is
+/// ceil(Weibull(shape, scale)) slots, minimum 1).
+class SemiMarkovAvailability final : public AvailabilitySource {
+ public:
+  SemiMarkovAvailability(std::vector<SemiMarkovParams> per_proc, std::uint64_t seed);
+
+  [[nodiscard]] int size() const override { return static_cast<int>(params_.size()); }
+  [[nodiscard]] markov::State state(int q) const override {
+    return states_[static_cast<std::size_t>(q)];
+  }
+  void advance() override;
+
+ private:
+  void resample_holding(std::size_t q);
+
+  std::vector<SemiMarkovParams> params_;
+  util::Rng rng_;
+  std::vector<markov::State> states_;
+  std::vector<long> remaining_;  ///< slots left in the current sojourn
+};
+
+/// Record `slots` slots of a source into a timeline (for fitting / replay).
+[[nodiscard]] StateTimeline record(AvailabilitySource& source, long slots);
+
+}  // namespace tcgrid::platform

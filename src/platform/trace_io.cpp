@@ -1,0 +1,68 @@
+#include "platform/trace_io.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tcgrid::platform {
+
+StateTimeline read_trace(std::istream& in) {
+  StateTimeline timeline;
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<markov::State> row;
+    row.reserve(line.size());
+    for (char c : line) {
+      if (c == ' ' || c == '\t' || c == '\r') continue;
+      if (!markov::is_state_code(c)) {
+        throw std::runtime_error("read_trace: unknown state character");
+      }
+      row.push_back(markov::state_from_code(c));
+    }
+    if (row.empty()) continue;
+    if (width == 0) width = row.size();
+    if (row.size() != width) throw std::runtime_error("read_trace: ragged trace");
+    timeline.push_back(std::move(row));
+  }
+  return timeline;
+}
+
+StateTimeline load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const StateTimeline& timeline) {
+  for (const auto& row : timeline) {
+    for (markov::State s : row) out << markov::code(s);
+    out << '\n';
+  }
+}
+
+markov::TransitionMatrix fit_transition_matrix(const StateTimeline& timeline,
+                                               int proc) {
+  std::array<std::array<double, 3>, 3> counts{};
+  for (std::size_t t = 0; t + 1 < timeline.size(); ++t) {
+    const auto from = static_cast<std::size_t>(
+        timeline[t][static_cast<std::size_t>(proc)]);
+    const auto to = static_cast<std::size_t>(
+        timeline[t + 1][static_cast<std::size_t>(proc)]);
+    counts[from][to] += 1.0;
+  }
+  std::array<std::array<double, 3>, 3> p{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    double total = counts[i][0] + counts[i][1] + counts[i][2];
+    if (total == 0.0) {
+      p[i][i] = 1.0;  // state never observed: inert self-loop
+      continue;
+    }
+    for (std::size_t j = 0; j < 3; ++j) p[i][j] = counts[i][j] / total;
+  }
+  return markov::TransitionMatrix(p);
+}
+
+}  // namespace tcgrid::platform

@@ -1,0 +1,37 @@
+// Availability trace files: one line per time slot, one character per
+// processor ('u', 'r', 'd'). Lines starting with '#' are comments.
+//
+// Used by the trace-driven example and by the semi-Markov extension to feed
+// recorded (non-Markovian) availability into the simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "markov/state.hpp"
+#include "markov/transition_matrix.hpp"
+
+namespace tcgrid::platform {
+
+using StateTimeline = std::vector<std::vector<markov::State>>;  // [slot][proc]
+
+/// Parse a trace from a stream. Throws std::runtime_error on malformed input
+/// (unknown state characters or ragged rows).
+[[nodiscard]] StateTimeline read_trace(std::istream& in);
+
+/// Parse a trace file; throws std::runtime_error if unreadable/malformed.
+[[nodiscard]] StateTimeline load_trace(const std::string& path);
+
+/// Serialize a trace (inverse of read_trace).
+void write_trace(std::ostream& out, const StateTimeline& timeline);
+
+/// Maximum-likelihood fit of a per-processor 3-state transition matrix from
+/// an observed timeline: counts of x->y transitions, rows normalized.
+/// Rows never observed keep a self-loop of 1 (no information).
+/// This is exactly the "flawed Markov model built from real-world traces"
+/// the paper proposes as future work (§VII-B).
+[[nodiscard]] markov::TransitionMatrix fit_transition_matrix(
+    const StateTimeline& timeline, int proc);
+
+}  // namespace tcgrid::platform

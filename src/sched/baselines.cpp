@@ -1,0 +1,227 @@
+#include "sched/baselines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/heuristics.hpp"
+
+namespace tcgrid::sched {
+
+namespace {
+
+/// Shared round-robin placement over a ranked list of UP workers: one task
+/// to each of the top min(m, |ranked|) workers, cycling while respecting
+/// mu_q. Returns an empty configuration if capacity is insufficient.
+model::Configuration round_robin(const sim::SchedulerView& view,
+                                 const std::vector<int>& ranked) {
+  const int m = view.app->num_tasks;
+  if (ranked.empty()) return {};
+  const int width = std::min<int>(m, static_cast<int>(ranked.size()));
+
+  std::vector<int> loads(ranked.size(), 0);
+  int placed = 0;
+  // Cycle over the top `width` workers; skip saturated ones.
+  for (int round = 0; placed < m; ++round) {
+    bool progressed = false;
+    for (int i = 0; i < width && placed < m; ++i) {
+      const int q = ranked[static_cast<std::size_t>(i)];
+      if (loads[static_cast<std::size_t>(i)] >=
+          view.platform->proc(q).max_tasks) {
+        continue;
+      }
+      ++loads[static_cast<std::size_t>(i)];
+      ++placed;
+      progressed = true;
+    }
+    if (!progressed) return {};  // all top workers saturated
+  }
+
+  std::vector<model::Assignment> assignments;
+  for (int i = 0; i < width; ++i) {
+    if (loads[static_cast<std::size_t>(i)] > 0) {
+      assignments.push_back({ranked[static_cast<std::size_t>(i)],
+                             loads[static_cast<std::size_t>(i)]});
+    }
+  }
+  return model::Configuration(std::move(assignments));
+}
+
+std::vector<int> up_workers(const sim::SchedulerView& view) {
+  std::vector<int> up;
+  for (int q = 0; q < view.platform->size(); ++q) {
+    if (view.states[static_cast<std::size_t>(q)] == markov::State::Up) {
+      up.push_back(q);
+    }
+  }
+  return up;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- FASTEST ----
+
+std::optional<model::Configuration> FastestScheduler::decide(
+    const sim::SchedulerView& view) {
+  if (view.has_config()) return std::nullopt;
+  const auto& plat = *view.platform;
+  const int m = view.app->num_tasks;
+
+  std::vector<int> loads(static_cast<std::size_t>(plat.size()), 0);
+  std::vector<int> order;
+  for (int task = 0; task < m; ++task) {
+    int best = -1;
+    long best_load = 0;
+    for (int q = 0; q < plat.size(); ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (view.states[qi] != markov::State::Up) continue;
+      if (loads[qi] >= plat.proc(q).max_tasks) continue;
+      const long load = static_cast<long>(loads[qi] + 1) * plat.proc(q).speed;
+      if (best < 0 || load < best_load) {
+        best = q;
+        best_load = load;
+      }
+    }
+    if (best < 0) return std::nullopt;
+    if (loads[static_cast<std::size_t>(best)] == 0) order.push_back(best);
+    ++loads[static_cast<std::size_t>(best)];
+  }
+
+  std::vector<model::Assignment> assignments;
+  for (int q : order) assignments.push_back({q, loads[static_cast<std::size_t>(q)]});
+  return model::Configuration(std::move(assignments));
+}
+
+// ----------------------------------------------------------- MOSTAVAIL ----
+
+std::optional<model::Configuration> MostAvailableScheduler::decide(
+    const sim::SchedulerView& view) {
+  if (view.has_config()) return std::nullopt;
+  auto ranked = up_workers(view);
+  const auto& plat = *view.platform;
+  std::stable_sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+    const double av_a = plat.proc(a).availability.availability();
+    const double av_b = plat.proc(b).availability.availability();
+    if (av_a != av_b) return av_a > av_b;
+    return plat.proc(a).speed < plat.proc(b).speed;
+  });
+  auto cfg = round_robin(view, ranked);
+  if (cfg.empty()) return std::nullopt;
+  return cfg;
+}
+
+// -------------------------------------------------------------- UPTIME ----
+
+void UptimeScheduler::observe(const sim::SchedulerView& view) {
+  if (streaks_.empty()) {
+    streaks_.assign(view.states.size(), 0);
+  }
+  if (view.slot == last_slot_) return;  // already observed this slot
+  last_slot_ = view.slot;
+  for (std::size_t q = 0; q < view.states.size(); ++q) {
+    if (view.states[q] == markov::State::Up) ++streaks_[q];
+    else streaks_[q] = 0;
+  }
+}
+
+std::optional<model::Configuration> UptimeScheduler::decide(
+    const sim::SchedulerView& view) {
+  observe(view);
+  if (view.has_config()) return std::nullopt;
+  auto ranked = up_workers(view);
+  const auto& plat = *view.platform;
+  std::stable_sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+    const long sa = streaks_[static_cast<std::size_t>(a)];
+    const long sb = streaks_[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return plat.proc(a).speed < plat.proc(b).speed;
+  });
+  auto cfg = round_robin(view, ranked);
+  if (cfg.empty()) return std::nullopt;
+  return cfg;
+}
+
+// ------------------------------------------------------------ ADAPT-* ----
+
+AdaptiveScheduler::AdaptiveScheduler(std::optional<Criterion> criterion, Rule rule,
+                                     const platform::Platform& real_platform,
+                                     const model::Application& app, double eps,
+                                     long refit_interval, double smoothing)
+    : criterion_(criterion),
+      rule_(rule),
+      real_platform_(real_platform),
+      app_(app),
+      eps_(eps),
+      refit_interval_(refit_interval),
+      smoothing_(smoothing) {
+  if (refit_interval_ < 1) {
+    throw std::invalid_argument("AdaptiveScheduler: refit_interval < 1");
+  }
+  if (smoothing_ <= 0.0) {
+    throw std::invalid_argument("AdaptiveScheduler: smoothing must be positive");
+  }
+  name_ = "ADAPT-";
+  if (criterion_) name_ += std::string(to_string(*criterion_)) + "-";
+  name_ += to_string(rule_);
+  counts_.assign(static_cast<std::size_t>(real_platform_.size()), {});
+  // Weak "sticky states" prior (a handful of pseudo-observations on the
+  // diagonal): before any evidence, assume availability persists rather
+  // than the uniform chaos bare smoothing would imply. Washes out quickly.
+  for (auto& c : counts_) {
+    for (std::size_t i = 0; i < 3; ++i) c[i][i] = 8.0;
+  }
+  refit();
+}
+
+markov::TransitionMatrix AdaptiveScheduler::fitted(int q) const {
+  return believed_->proc(q).availability;
+}
+
+void AdaptiveScheduler::observe(const sim::SchedulerView& view) {
+  if (view.slot == last_slot_) return;
+  last_slot_ = view.slot;
+  if (!prev_states_.empty()) {
+    for (std::size_t q = 0; q < view.states.size(); ++q) {
+      const auto from = static_cast<std::size_t>(prev_states_[q]);
+      const auto to = static_cast<std::size_t>(view.states[q]);
+      counts_[q][from][to] += 1.0;
+    }
+  }
+  prev_states_.assign(view.states.begin(), view.states.end());
+}
+
+void AdaptiveScheduler::refit() {
+  std::vector<platform::Processor> believed(real_platform_.procs().begin(),
+                                            real_platform_.procs().end());
+  for (std::size_t q = 0; q < believed.size(); ++q) {
+    std::array<std::array<double, 3>, 3> p{};
+    for (std::size_t i = 0; i < 3; ++i) {
+      double total = 3.0 * smoothing_;
+      for (std::size_t j = 0; j < 3; ++j) total += counts_[q][i][j];
+      for (std::size_t j = 0; j < 3; ++j) {
+        p[i][j] = (counts_[q][i][j] + smoothing_) / total;
+      }
+    }
+    believed[q].availability = markov::TransitionMatrix(p);
+  }
+  believed_ = std::make_unique<platform::Platform>(std::move(believed),
+                                                   real_platform_.ncom());
+  estimator_ = std::make_unique<Estimator>(*believed_, app_, eps_);
+  inner_ = make_inner();
+  last_refit_ = last_slot_;
+}
+
+std::unique_ptr<sim::Scheduler> AdaptiveScheduler::make_inner() const {
+  if (criterion_) {
+    return std::make_unique<ProactiveScheduler>(*criterion_, rule_, *estimator_);
+  }
+  return std::make_unique<PassiveScheduler>(rule_, *estimator_);
+}
+
+std::optional<model::Configuration> AdaptiveScheduler::decide(
+    const sim::SchedulerView& view) {
+  observe(view);
+  if (view.slot - last_refit_ >= refit_interval_) refit();
+  return inner_->decide(view);
+}
+
+}  // namespace tcgrid::sched

@@ -1,0 +1,113 @@
+// Knowledge-light baselines from the desktop-grid literature (paper §II),
+// and adaptive schedulers that learn the availability model on line.
+//
+// The paper's related work characterizes prior schedulers as using "static
+// criteria (e.g., processor clock-rates)" or "simple statistics of past
+// availability" to rank processors. These baselines make that comparison
+// concrete inside this framework:
+//
+//   FASTEST    — clock-rate ranking: each task goes to the UP worker that
+//                minimizes the resulting coupled workload W = max x_q w_q.
+//   MOSTAVAIL  — static availability ranking: round-robin over the UP
+//                workers with the highest long-run (stationary) availability.
+//   UPTIME     — past-availability statistic: like MOSTAVAIL but ranked by
+//                the *observed* current UP streak (no model knowledge).
+//
+// ADAPT-H / ADAPT-C-H — the paper's §VII-B question made executable: the
+// Markov-based heuristic H (or proactive C-H) run WITHOUT the true model,
+// re-fitting a transition matrix per processor from the states it has
+// observed so far (add-alpha smoothed maximum likelihood), refreshed
+// periodically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/criteria.hpp"
+#include "sched/estimator.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcgrid::sched {
+
+/// Clock-rate baseline: greedy min-W placement, reliability-blind.
+class FastestScheduler final : public sim::Scheduler {
+ public:
+  std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "FASTEST"; }
+};
+
+/// Static availability ranking: one task at a time, round-robin over the UP
+/// workers sorted by stationary UP probability (speed as tie-break).
+class MostAvailableScheduler final : public sim::Scheduler {
+ public:
+  std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "MOSTAVAIL"; }
+};
+
+/// Observed-uptime ranking: tracks each processor's current UP streak from
+/// the states it has seen (nothing else), and round-robins over the longest
+/// streaks. Completely model-free.
+class UptimeScheduler final : public sim::Scheduler {
+ public:
+  std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "UPTIME"; }
+
+  /// Current streak of processor q (for tests).
+  [[nodiscard]] long streak(int q) const {
+    return streaks_.empty() ? 0 : streaks_[static_cast<std::size_t>(q)];
+  }
+
+ private:
+  void observe(const sim::SchedulerView& view);
+  std::vector<long> streaks_;
+  long last_slot_ = -1;
+};
+
+/// Model-free wrapper around the paper's heuristics: observes states,
+/// maintains per-processor transition counts, and periodically re-fits the
+/// Markov model the inner heuristic uses.
+class AdaptiveScheduler final : public sim::Scheduler {
+ public:
+  /// `criterion` empty -> passive rule; otherwise proactive criterion-rule.
+  AdaptiveScheduler(std::optional<Criterion> criterion, Rule rule,
+                    const platform::Platform& real_platform,
+                    const model::Application& app, double eps = 1e-6,
+                    long refit_interval = 256, double smoothing = 0.5);
+
+  std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  /// The transition matrix currently believed for processor q (for tests).
+  [[nodiscard]] markov::TransitionMatrix fitted(int q) const;
+
+ private:
+  void observe(const sim::SchedulerView& view);
+  void refit();
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> make_inner() const;
+
+  std::optional<Criterion> criterion_;
+  Rule rule_;
+  const platform::Platform& real_platform_;
+  const model::Application& app_;
+  double eps_;
+  long refit_interval_;
+  double smoothing_;
+  std::string name_;
+
+  // observation state
+  std::vector<markov::State> prev_states_;
+  std::vector<std::array<std::array<double, 3>, 3>> counts_;
+  long last_slot_ = -1;
+  long last_refit_ = -1;
+
+  // believed world (rebuilt on refit)
+  std::unique_ptr<platform::Platform> believed_;
+  std::unique_ptr<Estimator> estimator_;
+  std::unique_ptr<sim::Scheduler> inner_;
+};
+
+}  // namespace tcgrid::sched

@@ -1,0 +1,73 @@
+// The four selection metrics of §VI-A and the three proactive criteria of
+// §VI-B, expressed as scores where *larger is better*.
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+
+#include "sched/estimator.hpp"
+
+namespace tcgrid::sched {
+
+/// Incremental task-placement rule (defines the four passive heuristics).
+enum class Rule {
+  IP,   ///< maximize probability of success
+  IE,   ///< minimize expected completion time
+  IY,   ///< maximize yield P / (t + E)
+  IAY,  ///< maximize apparent yield P / E
+};
+
+/// Proactive reconfiguration criterion. AY is excluded by the paper (§VI-B):
+/// it violates the stability constraint and would thrash.
+enum class Criterion {
+  P,  ///< probability of success
+  E,  ///< expected completion time (smaller is better -> negated score)
+  Y,  ///< yield
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Rule r) noexcept {
+  switch (r) {
+    case Rule::IP: return "IP";
+    case Rule::IE: return "IE";
+    case Rule::IY: return "IY";
+    case Rule::IAY: return "IAY";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Criterion c) noexcept {
+  switch (c) {
+    case Criterion::P: return "P";
+    case Criterion::E: return "E";
+    case Criterion::Y: return "Y";
+  }
+  return "?";
+}
+
+/// Score of an estimate under a placement rule; `t_elapsed` is the time
+/// already spent in the current iteration (used by the yield).
+[[nodiscard]] inline double rule_score(Rule rule, const IterationEstimate& est,
+                                       long t_elapsed) {
+  // E >= 1 for any non-empty workload, but guard the denominators anyway.
+  const double e = std::max(est.e_time, 1e-12);
+  switch (rule) {
+    case Rule::IP: return est.p_success;
+    case Rule::IE: return -e;
+    case Rule::IY: return est.p_success / (static_cast<double>(t_elapsed) + e);
+    case Rule::IAY: return est.p_success / e;
+  }
+  return 0.0;
+}
+
+/// Score of an estimate under a proactive criterion (same conventions).
+[[nodiscard]] inline double criterion_score(Criterion crit, const IterationEstimate& est,
+                                            long t_elapsed) {
+  switch (crit) {
+    case Criterion::P: return rule_score(Rule::IP, est, t_elapsed);
+    case Criterion::E: return rule_score(Rule::IE, est, t_elapsed);
+    case Criterion::Y: return rule_score(Rule::IY, est, t_elapsed);
+  }
+  return 0.0;
+}
+
+}  // namespace tcgrid::sched

@@ -1,0 +1,100 @@
+#include "sched/estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcgrid::sched {
+
+namespace {
+// Bound the memoization table; reached only by pathological runs.
+constexpr std::size_t kMaxCachedSets = std::size_t{1} << 22;
+}  // namespace
+
+Estimator::Estimator(const platform::Platform& platform, const model::Application& app,
+                     double eps)
+    : platform_(platform), app_(app), eps_(eps) {
+  if (eps_ <= 0.0) throw std::invalid_argument("Estimator: eps must be positive");
+  if (platform_.size() > 64) {
+    throw std::invalid_argument("Estimator: more than 64 processors unsupported");
+  }
+  const auto p = static_cast<std::size_t>(platform_.size());
+  ur_.reserve(p);
+  per_proc_.reserve(p);
+  for (int q = 0; q < platform_.size(); ++q) {
+    ur_.push_back(markov::ur_submatrix(platform_.proc(q).availability));
+    per_proc_.push_back(markov::coupled_stats({&ur_.back(), 1}, eps_));
+  }
+  survival_.resize(p);
+}
+
+const markov::CoupledStats& Estimator::set_stats(std::span<const int> set) const {
+  std::uint64_t key = 0;
+  for (int q : set) key |= std::uint64_t{1} << q;
+  auto it = set_cache_.find(key);
+  if (it != set_cache_.end()) return it->second;
+
+  scratch_.clear();
+  for (int q : set) scratch_.push_back(ur_[static_cast<std::size_t>(q)]);
+  if (set_cache_.size() >= kMaxCachedSets) set_cache_.clear();
+  auto [ins, _] = set_cache_.emplace(key, markov::coupled_stats(scratch_, eps_));
+  return ins->second;
+}
+
+double Estimator::p_no_down(int q, long t) const {
+  if (t <= 0) return 1.0;
+  auto& table = survival_[static_cast<std::size_t>(q)];
+  if (table.empty()) table.push_back(1.0);  // t = 0
+  if (static_cast<long>(table.size()) <= t) {
+    // Extend the survival table: table[k] = P(not DOWN within k slots).
+    markov::UrRow row;
+    // Recover the row at the current table end by replaying; tables only
+    // ever grow, so keep the row cached ... recomputing from scratch keeps
+    // the code simple and each extension is amortized O(1) per entry thanks
+    // to geometric growth below.
+    const auto& m = ur_[static_cast<std::size_t>(q)];
+    for (std::size_t k = 1; k < table.size(); ++k) row.advance(m);
+    const long target = std::max<long>(t, static_cast<long>(table.size()) * 2);
+    while (static_cast<long>(table.size()) <= target) {
+      row.advance(m);
+      table.push_back(row.survival());
+    }
+  }
+  return table[static_cast<std::size_t>(t)];
+}
+
+double Estimator::expected_comm_time(std::span<const CommNeed> needs) const {
+  double e_comm = 0.0;
+  long total = 0;
+  for (const auto& n : needs) {
+    total += n.slots;
+    if (n.slots <= 0) continue;
+    const auto& st = per_proc_[static_cast<std::size_t>(n.proc)];
+    e_comm = std::max(e_comm, st.expected_time(n.slots));
+  }
+  if (static_cast<int>(needs.size()) > platform_.ncom() && total > 0) {
+    e_comm = std::max(e_comm, static_cast<double>(total) /
+                                  static_cast<double>(platform_.ncom()));
+  }
+  return e_comm;
+}
+
+IterationEstimate Estimator::evaluate(std::span<const CommNeed> needs,
+                                      std::span<const int> set, long w) const {
+  IterationEstimate out;
+
+  const double e_comm = expected_comm_time(needs);
+  double p_comm = 1.0;
+  if (e_comm > 0.0) {
+    const long t = static_cast<long>(std::ceil(e_comm));
+    // Every enrolled worker must avoid DOWN through the whole phase, whether
+    // or not it is receiving (paper §V-B).
+    for (int q : set) p_comm *= p_no_down(q, t);
+  }
+
+  const auto& st = set_stats(set);
+  out.p_success = p_comm * st.success_prob(w);
+  out.e_time = e_comm + st.expected_time(w);
+  return out;
+}
+
+}  // namespace tcgrid::sched

@@ -1,0 +1,90 @@
+// Estimator: the paper's §V quantities packaged for scheduling decisions.
+//
+// Given a candidate set of enrolled workers with per-worker remaining
+// communication needs and a remaining coupled workload W, produces the
+// probability that the iteration completes with no enrolled worker going
+// DOWN, and the (approximate) expected number of slots it takes:
+//
+//   computation (§V-A):  P_comp = P+(S)^(W-1)
+//                        E_comp = (1 + (W-1) E_c) / P+(S)^(W-1)
+//   communication (§V-B): E_comm = max_q E^{(q)}(n_q)            if |S| <= ncom
+//                         E_comm = max(that,  sum n_q / ncom)    otherwise
+//                         P_comm = prod_q P_ND^{(q)}(E_comm)
+//   iteration:           P = P_comm * P_comp,  E = E_comm + E_comp
+//
+// Set-level statistics are memoized by membership bitmask (the platform is
+// fixed per run), and per-processor survival rows are tabulated lazily, so
+// the incremental heuristics' O(m*p) candidate evaluations per decision are
+// cheap after warm-up. Instances are NOT thread-safe; use one per run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "markov/series.hpp"
+#include "model/application.hpp"
+#include "platform/platform.hpp"
+
+namespace tcgrid::sched {
+
+/// Probability of success and expected duration of (the remainder of) an
+/// iteration on a candidate configuration.
+struct IterationEstimate {
+  double p_success = 1.0;
+  double e_time = 0.0;
+};
+
+class Estimator {
+ public:
+  /// eps: truncation precision of the Theorem 5.1 series.
+  Estimator(const platform::Platform& platform, const model::Application& app,
+            double eps = 1e-9);
+
+  /// Remaining communication need of one enrolled worker.
+  struct CommNeed {
+    int proc = -1;
+    long slots = 0;  ///< n_q: remaining transfer slots (program + data)
+  };
+
+  /// Full §V estimate: communication for `needs`, then W coupled compute
+  /// slots on `set`. `needs` must cover exactly the workers of `set`
+  /// (zero-slot entries allowed). `w` is the *remaining* workload.
+  [[nodiscard]] IterationEstimate evaluate(std::span<const CommNeed> needs,
+                                           std::span<const int> set, long w) const;
+
+  /// Coupled-computation statistics of a worker set (memoized).
+  [[nodiscard]] const markov::CoupledStats& set_stats(std::span<const int> set) const;
+
+  /// Single-worker statistics (used for per-worker communication times).
+  [[nodiscard]] const markov::CoupledStats& proc_stats(int q) const {
+    return per_proc_[static_cast<std::size_t>(q)];
+  }
+
+  /// P_ND^{(q)}(t): probability that q (UP now) avoids DOWN for t slots.
+  [[nodiscard]] double p_no_down(int q, long t) const;
+
+  /// Expected communication-phase duration alone (paper §V-B).
+  [[nodiscard]] double expected_comm_time(std::span<const CommNeed> needs) const;
+
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+  [[nodiscard]] const platform::Platform& platform() const noexcept { return platform_; }
+  [[nodiscard]] const model::Application& app() const noexcept { return app_; }
+
+  /// Number of distinct worker sets memoized so far (observability/tests).
+  [[nodiscard]] std::size_t cached_sets() const noexcept { return set_cache_.size(); }
+
+ private:
+  const platform::Platform& platform_;
+  const model::Application& app_;
+  double eps_;
+
+  std::vector<markov::UrMatrix> ur_;               // per-processor UR sub-matrix
+  std::vector<markov::CoupledStats> per_proc_;     // coupled_stats({q})
+  mutable std::vector<std::vector<double>> survival_;  // P_ND tables, lazily grown
+  mutable std::unordered_map<std::uint64_t, markov::CoupledStats> set_cache_;
+  mutable std::vector<markov::UrMatrix> scratch_;  // reused per set_stats call
+};
+
+}  // namespace tcgrid::sched

@@ -1,0 +1,126 @@
+#include "sched/heuristics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace tcgrid::sched {
+
+std::optional<model::Configuration> PassiveScheduler::decide(
+    const sim::SchedulerView& view) {
+  if (view.has_config()) return std::nullopt;
+  auto built = builder_.build(view);
+  if (built.config.empty()) return std::nullopt;
+  return std::move(built.config);
+}
+
+std::optional<model::Configuration> RandomScheduler::decide(
+    const sim::SchedulerView& view) {
+  if (view.has_config()) return std::nullopt;
+  const auto& plat = *view.platform;
+  const int p = plat.size();
+  const int m = view.app->num_tasks;
+
+  std::vector<int> loads(static_cast<std::size_t>(p), 0);
+  std::vector<int> order;
+  for (int task = 0; task < m; ++task) {
+    // Workers eligible for one more task.
+    std::vector<int> eligible;
+    for (int q = 0; q < p; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (view.states[qi] != markov::State::Up) continue;
+      if (loads[qi] >= plat.proc(q).max_tasks) continue;
+      eligible.push_back(q);
+    }
+    if (eligible.empty()) return std::nullopt;
+    const int q = eligible[rng_.index(eligible.size())];
+    if (loads[static_cast<std::size_t>(q)] == 0) order.push_back(q);
+    ++loads[static_cast<std::size_t>(q)];
+  }
+
+  std::vector<model::Assignment> assignments;
+  assignments.reserve(order.size());
+  for (int q : order) assignments.push_back({q, loads[static_cast<std::size_t>(q)]});
+  return model::Configuration(std::move(assignments));
+}
+
+ProactiveScheduler::ProactiveScheduler(Criterion crit, Rule rule,
+                                       const Estimator& estimator)
+    : crit_(crit), builder_(rule, estimator) {
+  name_ = std::string(to_string(crit)) + "-" + std::string(to_string(rule));
+}
+
+IterationEstimate ProactiveScheduler::current_estimate(
+    const sim::SchedulerView& view) const {
+  std::vector<int> set;
+  std::vector<Estimator::CommNeed> needs;
+  const auto& cfg = *view.config;
+  set.reserve(cfg.size());
+  needs.reserve(cfg.size());
+  for (const auto& a : cfg.assignments()) {
+    set.push_back(a.proc);
+    needs.push_back({a.proc, view.comm_remaining[static_cast<std::size_t>(a.proc)]});
+  }
+  const long w = credit_compute_ ? view.compute_total - view.compute_done
+                                 : view.compute_total;
+  return builder_.estimator().evaluate(needs, set, w);
+}
+
+const BuiltConfiguration& ProactiveScheduler::candidate(const sim::SchedulerView& view) {
+  const bool use_cache = caching_ && builder_.rule() != Rule::IY;
+  if (use_cache) {
+    const std::uint64_t key = signature(view);
+    if (cache_valid_ && key == cache_key_) return cache_value_;
+    cache_value_ = builder_.build(view);
+    cache_key_ = key;
+    cache_valid_ = true;
+    return cache_value_;
+  }
+  cache_value_ = builder_.build(view);
+  cache_valid_ = false;
+  return cache_value_;
+}
+
+std::uint64_t ProactiveScheduler::signature(const sim::SchedulerView& view) {
+  // FNV-1a over the decision-relevant inputs: per-processor UP bit,
+  // has_program bit, and completed data-message count.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (std::size_t q = 0; q < view.states.size(); ++q) {
+    std::uint64_t v = view.states[q] == markov::State::Up ? 1 : 0;
+    v |= static_cast<std::uint64_t>(view.holdings[q].has_program ? 1 : 0) << 1;
+    v |= static_cast<std::uint64_t>(
+             std::min(view.holdings[q].data_messages, 0xffff))
+         << 2;
+    mix(v + (static_cast<std::uint64_t>(q) << 32));
+  }
+  return h;
+}
+
+std::optional<model::Configuration> ProactiveScheduler::decide(
+    const sim::SchedulerView& view) {
+  if (!view.has_config()) {
+    cache_valid_ = false;
+    auto built = builder_.build(view);
+    if (built.config.empty()) return std::nullopt;
+    return std::move(built.config);
+  }
+
+  const IterationEstimate cur = current_estimate(view);
+  const double c = criterion_score(crit_, cur, view.iteration_elapsed);
+
+  const BuiltConfiguration& cand = candidate(view);
+  if (cand.config.empty()) return std::nullopt;
+  const double c2 = criterion_score(crit_, cand.estimate, view.iteration_elapsed);
+
+  if (c2 > c) {
+    model::Configuration chosen = cand.config;
+    cache_valid_ = false;
+    return chosen;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tcgrid::sched

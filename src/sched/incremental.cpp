@@ -1,0 +1,106 @@
+#include "sched/incremental.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tcgrid::sched {
+
+namespace {
+
+/// Remaining transfer slots worker q would need to run x tasks, given what
+/// it already holds. Candidates are scored as if placed fresh: in-flight
+/// partial transfers are not credited (they are lost on reconfiguration).
+long fresh_need(const sim::SchedulerView& view, int q, int x) {
+  const auto& h = view.holdings[static_cast<std::size_t>(q)];
+  const auto& app = *view.app;
+  long need = 0;
+  if (!h.has_program && app.t_prog > 0) need += app.t_prog;
+  need += static_cast<long>(std::max(0, x - h.data_messages)) * app.t_data;
+  return need;
+}
+
+}  // namespace
+
+BuiltConfiguration IncrementalBuilder::build(const sim::SchedulerView& view) const {
+  const auto& plat = *view.platform;
+  const int p = plat.size();
+  const int m = view.app->num_tasks;
+
+  std::vector<int> loads(static_cast<std::size_t>(p), 0);
+  std::vector<int> order;  // enrollment order of workers with >= 1 task
+  order.reserve(static_cast<std::size_t>(m));
+
+  // Scratch buffers reused across candidate evaluations.
+  std::vector<int> cand_set;
+  std::vector<Estimator::CommNeed> cand_needs;
+  IterationEstimate chosen_est{};
+
+  long w_current = 0;  // max_q loads[q] * w_q over enrolled workers
+
+  for (int task = 0; task < m; ++task) {
+    int best = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    IterationEstimate best_est{};
+
+    for (int q = 0; q < p; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (view.states[qi] != markov::State::Up) continue;
+      if (loads[qi] >= plat.proc(q).max_tasks) continue;
+
+      // Candidate: one more task on q.
+      const int xq = loads[qi] + 1;
+      const long wq = plat.proc(q).speed;
+      const long w_cand = std::max(w_current, static_cast<long>(xq) * wq);
+
+      cand_set.clear();
+      cand_needs.clear();
+      bool q_in_set = false;
+      for (int r : order) {
+        cand_set.push_back(r);
+        const int xr = r == q ? xq : loads[static_cast<std::size_t>(r)];
+        if (r == q) q_in_set = true;
+        cand_needs.push_back({r, fresh_need(view, r, xr)});
+      }
+      if (!q_in_set) {
+        cand_set.push_back(q);
+        cand_needs.push_back({q, fresh_need(view, q, xq)});
+      }
+
+      const IterationEstimate est = estimator_->evaluate(cand_needs, cand_set, w_cand);
+      const double score = rule_score(rule_, est, view.iteration_elapsed);
+      if (score > best_score) {
+        best_score = score;
+        best = q;
+        best_est = est;
+      }
+    }
+
+    if (best < 0) return {};  // not enough UP capacity for all m tasks
+    const auto bi = static_cast<std::size_t>(best);
+    if (loads[bi] == 0) order.push_back(best);
+    ++loads[bi];
+    w_current = std::max(w_current,
+                         static_cast<long>(loads[bi]) * plat.proc(best).speed);
+    chosen_est = best_est;
+  }
+
+  std::vector<model::Assignment> assignments;
+  assignments.reserve(order.size());
+  for (int q : order) assignments.push_back({q, loads[static_cast<std::size_t>(q)]});
+  return {model::Configuration(std::move(assignments)), chosen_est};
+}
+
+IterationEstimate IncrementalBuilder::estimate_fresh(
+    const sim::SchedulerView& view, const model::Configuration& cfg) const {
+  std::vector<int> set;
+  std::vector<Estimator::CommNeed> needs;
+  set.reserve(cfg.size());
+  needs.reserve(cfg.size());
+  for (const auto& a : cfg.assignments()) {
+    set.push_back(a.proc);
+    needs.push_back({a.proc, fresh_need(view, a.proc, a.tasks)});
+  }
+  return estimator_->evaluate(needs, set, cfg.compute_slots(view.platform->speeds()));
+}
+
+}  // namespace tcgrid::sched

@@ -1,0 +1,49 @@
+// Incremental configuration construction (paper §VI-A).
+//
+// Tasks are placed one at a time: each of the m tasks goes to the UP worker
+// (with spare capacity) that optimizes the rule's score for the whole
+// partial configuration, accounting for program/data the workers already
+// hold. Ties break toward the lower processor index, which makes every
+// heuristic fully deterministic given the same view.
+#pragma once
+
+#include <vector>
+
+#include "model/configuration.hpp"
+#include "sched/criteria.hpp"
+#include "sched/estimator.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcgrid::sched {
+
+/// Result of building a candidate configuration.
+struct BuiltConfiguration {
+  model::Configuration config;  ///< empty if no feasible placement exists
+  IterationEstimate estimate;   ///< estimate of the *full* iteration on it
+};
+
+class IncrementalBuilder {
+ public:
+  IncrementalBuilder(Rule rule, const Estimator& estimator)
+      : rule_(rule), estimator_(&estimator) {}
+
+  [[nodiscard]] Rule rule() const noexcept { return rule_; }
+  [[nodiscard]] const Estimator& estimator() const noexcept { return *estimator_; }
+
+  /// Build a configuration from scratch for the current view (assumes any
+  /// existing configuration would be abandoned: partial transfers are not
+  /// credited; completed program/data are, per the model).
+  [[nodiscard]] BuiltConfiguration build(const sim::SchedulerView& view) const;
+
+  /// Estimate an arbitrary configuration from scratch under the same
+  /// accounting as build() (used to score proactive candidates and, with
+  /// explicit remaining quantities, the current configuration).
+  [[nodiscard]] IterationEstimate estimate_fresh(const sim::SchedulerView& view,
+                                                 const model::Configuration& cfg) const;
+
+ private:
+  Rule rule_;
+  const Estimator* estimator_;
+};
+
+}  // namespace tcgrid::sched

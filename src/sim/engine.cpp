@@ -1,0 +1,292 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcgrid::sim {
+
+Engine::Engine(const platform::Platform& platform, const model::Application& app,
+               platform::AvailabilitySource& availability, Scheduler& scheduler,
+               EngineOptions options)
+    : platform_(platform),
+      app_(app),
+      availability_(availability),
+      scheduler_(scheduler),
+      options_(options) {
+  app_.validate();
+  if (availability_.size() != platform_.size()) {
+    throw std::invalid_argument("Engine: availability/platform size mismatch");
+  }
+  if (options_.slot_cap < 1) throw std::invalid_argument("Engine: slot_cap < 1");
+  const auto p = static_cast<std::size_t>(platform_.size());
+  states_.resize(p);
+  holdings_.resize(p);
+  actions_.resize(p);
+  comm_remaining_buf_.resize(p);
+}
+
+SimulationResult Engine::run() {
+  result_ = {};
+  current_iter_ = {};
+  trace_.clear();
+  iteration_start_ = 0;
+
+  for (slot_ = 0; slot_ < options_.slot_cap && !finished_; ++slot_) {
+    if (slot_ > 0) availability_.advance();
+    refresh_states();
+    std::fill(actions_.begin(), actions_.end(), Action::None);
+
+    process_downs();
+    consult_scheduler();
+
+    if (!config_.empty()) {
+      if (!comm_phase_done()) serve_communications();
+      else advance_computation();
+    } else {
+      ++result_.idle_slots;
+    }
+    record_slot();
+  }
+
+  result_.iterations_completed = iterations_done_;
+  result_.success = finished_;
+  result_.makespan = finished_ ? slot_ : options_.slot_cap;
+  return result_;
+}
+
+void Engine::refresh_states() {
+  for (int q = 0; q < platform_.size(); ++q) {
+    states_[static_cast<std::size_t>(q)] = availability_.state(q);
+  }
+}
+
+void Engine::process_downs() {
+  // DOWN loses everything, enrolled or not (paper §III-B).
+  for (std::size_t q = 0; q < states_.size(); ++q) {
+    if (states_[q] == markov::State::Down) holdings_[q].crash();
+  }
+  if (!config_.empty() && any_enrolled_down()) {
+    // Tight coupling: the whole iteration's computation is lost and a new
+    // configuration must be selected (paper §III-C).
+    ++current_iter_.restarts;
+    ++result_.total_restarts;
+    clear_config();
+  }
+}
+
+void Engine::consult_scheduler() {
+  build_view();
+  auto decision = scheduler_.decide(view_);
+  if (!decision.has_value() || decision->empty()) return;
+  const model::Configuration& cfg = *decision;
+  if (cfg == config_) return;  // proposing the unchanged config is a no-op
+
+  // Validate the proposal: it is a logic error for a heuristic to enroll a
+  // non-UP worker, exceed mu_q, or map a number of tasks != m.
+  int total = 0;
+  for (const auto& a : cfg.assignments()) {
+    if (a.proc < 0 || a.proc >= platform_.size()) {
+      throw std::logic_error("Engine: configuration names unknown processor");
+    }
+    if (states_[static_cast<std::size_t>(a.proc)] != markov::State::Up) {
+      throw std::logic_error("Engine: configuration enrolls a non-UP worker");
+    }
+    if (a.tasks < 1 || a.tasks > platform_.proc(a.proc).max_tasks) {
+      throw std::logic_error("Engine: task count violates mu_q");
+    }
+    for (const auto& b : cfg.assignments()) {
+      if (&a != &b && a.proc == b.proc) {
+        throw std::logic_error("Engine: duplicate worker in configuration");
+      }
+    }
+    total += a.tasks;
+  }
+  if (total != app_.num_tasks) {
+    throw std::logic_error("Engine: configuration does not map exactly m tasks");
+  }
+  install(cfg);
+}
+
+void Engine::install(const model::Configuration& cfg) {
+  const bool had_config = !config_.empty();
+  if (had_config) {
+    // Voluntary (proactive) switch: any partially completed computation is
+    // lost.
+    ++current_iter_.reconfigurations;
+    ++result_.total_reconfigurations;
+  }
+  config_ = cfg;
+  // A worker not (re-)enrolled in the new configuration loses its task data
+  // and any in-flight transfer — "any interrupted communication must be
+  // resumed from scratch if the worker ... was removed from the
+  // configuration", and a re-enrolled worker "needs to receive task data ...
+  // even if Pq had been enrolled at time t' < t but was un-enrolled since
+  // then" (§III-C). Only the program survives un-enrollment.
+  for (int q = 0; q < platform_.size(); ++q) {
+    if (config_.enrolled(q)) continue;
+    auto& h = holdings_[static_cast<std::size_t>(q)];
+    h.data_messages = 0;
+    h.partial_slots = 0;
+  }
+  compute_total_ = config_.compute_slots(platform_.speeds());
+  compute_done_ = 0;
+
+  // Degenerate communication costs complete instantly.
+  for (const auto& a : config_.assignments()) {
+    auto& h = holdings_[static_cast<std::size_t>(a.proc)];
+    if (app_.t_prog == 0) h.has_program = true;
+    if (app_.t_data == 0) h.data_messages = std::max(h.data_messages, a.tasks);
+  }
+}
+
+long Engine::comm_remaining(int q) const {
+  const int x = config_.tasks_on(q);
+  if (x == 0) return 0;
+  const auto& h = holdings_[static_cast<std::size_t>(q)];
+  long need = 0;
+  if (!h.has_program && app_.t_prog > 0) need += app_.t_prog;
+  need += static_cast<long>(std::max(0, x - h.data_messages)) * app_.t_data;
+  return std::max(0L, need - h.partial_slots);
+}
+
+bool Engine::comm_phase_done() const {
+  for (const auto& a : config_.assignments()) {
+    if (comm_remaining(a.proc) > 0) return false;
+  }
+  return true;
+}
+
+bool Engine::all_enrolled_up() const {
+  for (const auto& a : config_.assignments()) {
+    if (states_[static_cast<std::size_t>(a.proc)] != markov::State::Up) return false;
+  }
+  return true;
+}
+
+bool Engine::any_enrolled_down() const {
+  for (const auto& a : config_.assignments()) {
+    if (states_[static_cast<std::size_t>(a.proc)] == markov::State::Down) return true;
+  }
+  return false;
+}
+
+void Engine::clear_config() {
+  for (const auto& a : config_.assignments()) {
+    holdings_[static_cast<std::size_t>(a.proc)].unenroll();
+  }
+  config_ = model::Configuration{};
+  compute_total_ = 0;
+  compute_done_ = 0;
+}
+
+void Engine::serve_communications() {
+  // Candidates: enrolled UP workers with transfers pending, in enrollment
+  // order; optionally re-ranked by remaining need (ablation policies).
+  std::vector<int> pending;
+  pending.reserve(config_.size());
+  for (const auto& a : config_.assignments()) {
+    const auto q = static_cast<std::size_t>(a.proc);
+    if (states_[q] != markov::State::Up) continue;  // RECLAIMED: transfer pauses
+    if (comm_remaining(a.proc) == 0) {
+      actions_[q] = Action::Idle;  // done, waiting for the phase barrier
+      continue;
+    }
+    pending.push_back(a.proc);
+  }
+  if (options_.comm_order == CommOrder::FewestFirst) {
+    std::stable_sort(pending.begin(), pending.end(), [this](int x, int y) {
+      return comm_remaining(x) < comm_remaining(y);
+    });
+  } else if (options_.comm_order == CommOrder::MostFirst) {
+    std::stable_sort(pending.begin(), pending.end(), [this](int x, int y) {
+      return comm_remaining(x) > comm_remaining(y);
+    });
+  }
+
+  int served = 0;
+  for (int proc : pending) {
+    if (served >= platform_.ncom()) break;
+    const auto q = static_cast<std::size_t>(proc);
+    auto& h = holdings_[q];
+    const bool program = !h.has_program && app_.t_prog > 0;
+    actions_[q] = program ? Action::Program : Action::Data;
+    ++h.partial_slots;
+    const long len = program ? app_.t_prog : app_.t_data;
+    if (h.partial_slots >= len) {
+      h.partial_slots = 0;
+      if (program) h.has_program = true;
+      else ++h.data_messages;
+    }
+    ++served;
+  }
+  // Enrolled UP workers that were skipped for bandwidth are idle.
+  for (const auto& a : config_.assignments()) {
+    const auto q = static_cast<std::size_t>(a.proc);
+    if (states_[q] == markov::State::Up && actions_[q] == Action::None) {
+      actions_[q] = Action::Idle;
+    }
+  }
+  if (served > 0) ++current_iter_.comm_slots;
+}
+
+void Engine::advance_computation() {
+  if (all_enrolled_up()) {
+    for (const auto& a : config_.assignments()) {
+      actions_[static_cast<std::size_t>(a.proc)] = Action::Compute;
+    }
+    ++compute_done_;
+    ++current_iter_.compute_slots;
+    if (compute_done_ >= compute_total_) complete_iteration();
+  } else {
+    // At least one enrolled worker is RECLAIMED: everyone suspends.
+    ++current_iter_.suspended_slots;
+    for (const auto& a : config_.assignments()) {
+      const auto q = static_cast<std::size_t>(a.proc);
+      if (states_[q] == markov::State::Up) actions_[q] = Action::Idle;
+    }
+  }
+}
+
+void Engine::complete_iteration() {
+  current_iter_.start_slot = iteration_start_;
+  current_iter_.end_slot = slot_;
+  result_.iterations.push_back(current_iter_);
+  current_iter_ = {};
+  ++iterations_done_;
+
+  // Global synchronization: task data is per-iteration, the program persists.
+  for (auto& h : holdings_) h.next_iteration();
+  config_ = model::Configuration{};
+  compute_total_ = 0;
+  compute_done_ = 0;
+  iteration_start_ = slot_ + 1;
+
+  if (iterations_done_ >= app_.iterations) finished_ = true;
+}
+
+void Engine::build_view() {
+  for (int q = 0; q < platform_.size(); ++q) {
+    comm_remaining_buf_[static_cast<std::size_t>(q)] = comm_remaining(q);
+  }
+  view_.slot = slot_;
+  view_.platform = &platform_;
+  view_.app = &app_;
+  view_.states = states_;
+  view_.holdings = holdings_;
+  view_.config = config_.empty() ? nullptr : &config_;
+  view_.iteration_elapsed = slot_ - iteration_start_;
+  view_.compute_total = compute_total_;
+  view_.compute_done = compute_done_;
+  view_.comm_remaining = comm_remaining_buf_;
+}
+
+void Engine::record_slot() {
+  if (!options_.record_trace) return;
+  std::vector<Cell> row(states_.size());
+  for (std::size_t q = 0; q < states_.size(); ++q) {
+    row[q] = Cell{states_[q], actions_[q]};
+  }
+  trace_.push_back(std::move(row));
+}
+
+}  // namespace tcgrid::sim

@@ -1,0 +1,99 @@
+// Time-slot simulation engine implementing the paper's execution model
+// (§III-C). See DESIGN.md §5 for the slot-by-slot semantics.
+#pragma once
+
+#include <vector>
+
+#include "model/application.hpp"
+#include "model/configuration.hpp"
+#include "model/holdings.hpp"
+#include "platform/availability.hpp"
+#include "platform/platform.hpp"
+#include "sim/events.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace tcgrid::sim {
+
+/// How the master picks which (at most ncom) enrolled UP workers to serve in
+/// a slot. The paper does not specify this; Enrollment order matches its
+/// Figure 1 walk-through and is the library default. The alternatives exist
+/// for the ablation bench.
+enum class CommOrder {
+  Enrollment,     ///< first enrolled, first served (default)
+  FewestFirst,    ///< shortest remaining transfer first
+  MostFirst,      ///< longest remaining transfer first
+};
+
+struct EngineOptions {
+  long slot_cap = 1'000'000;  ///< fail the run if the makespan reaches this
+  bool record_trace = false;  ///< keep a per-slot activity trace (costly)
+  CommOrder comm_order = CommOrder::Enrollment;
+};
+
+/// Drives one application execution: availability advances slot by slot, the
+/// scheduler is consulted every slot, communications respect the master's
+/// ncom bound, and the tightly-coupled computation only progresses in slots
+/// where every enrolled worker is UP.
+class Engine {
+ public:
+  Engine(const platform::Platform& platform, const model::Application& app,
+         platform::AvailabilitySource& availability, Scheduler& scheduler,
+         EngineOptions options = {});
+
+  /// Run to completion (all iterations done) or to the slot cap.
+  [[nodiscard]] SimulationResult run();
+
+  /// Activity trace recorded during run() (empty unless record_trace).
+  [[nodiscard]] const ActivityTrace& trace() const noexcept { return trace_; }
+
+ private:
+  // --- per-slot phases -----------------------------------------------------
+  void refresh_states();
+  void process_downs();
+  void consult_scheduler();
+  void install(const model::Configuration& config);
+  void serve_communications();
+  void advance_computation();
+  void complete_iteration();
+
+  // --- helpers ---------------------------------------------------------
+  [[nodiscard]] long comm_remaining(int q) const;
+  [[nodiscard]] bool comm_phase_done() const;
+  [[nodiscard]] bool all_enrolled_up() const;
+  [[nodiscard]] bool any_enrolled_down() const;
+  void clear_config();
+  void build_view();
+  void record_slot();
+
+  const platform::Platform& platform_;
+  const model::Application& app_;
+  platform::AvailabilitySource& availability_;
+  Scheduler& scheduler_;
+  EngineOptions options_;
+
+  // dynamic state
+  long slot_ = 0;
+  std::vector<markov::State> states_;
+  std::vector<model::Holdings> holdings_;
+  model::Configuration config_;
+  long compute_total_ = 0;
+  long compute_done_ = 0;
+  long iteration_start_ = 0;
+  int iterations_done_ = 0;
+  bool finished_ = false;
+
+  // per-slot action annotations (for trace/tests)
+  std::vector<Action> actions_;
+
+  // view buffers
+  std::vector<long> comm_remaining_buf_;
+  SchedulerView view_;
+
+  // bookkeeping
+  SimulationResult result_;
+  IterationStats current_iter_;
+  ActivityTrace trace_;
+};
+
+}  // namespace tcgrid::sim

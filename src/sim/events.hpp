@@ -1,0 +1,29 @@
+// Optional per-slot activity recording, for the ASCII Gantt (Figure 1) and
+// for white-box assertions in tests.
+#pragma once
+
+#include <vector>
+
+#include "markov/state.hpp"
+
+namespace tcgrid::sim {
+
+/// What a processor did during one slot (mirrors Figure 1's legend).
+enum class Action : char {
+  None = ' ',     ///< not enrolled
+  Idle = 'I',     ///< enrolled, waiting (bandwidth or phase barrier)
+  Program = 'P',  ///< receiving the application program
+  Data = 'D',     ///< receiving task data
+  Compute = 'C',  ///< computing (all enrolled workers simultaneously UP)
+};
+
+/// One processor-slot cell.
+struct Cell {
+  markov::State state = markov::State::Up;
+  Action action = Action::None;
+};
+
+/// Row-per-slot activity matrix: trace[t][q].
+using ActivityTrace = std::vector<std::vector<Cell>>;
+
+}  // namespace tcgrid::sim

@@ -1,0 +1,52 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tcgrid::sim {
+
+namespace {
+
+char cell_char(const Cell& c) {
+  switch (c.state) {
+    case markov::State::Down: return '#';
+    case markov::State::Reclaimed: return '~';
+    case markov::State::Up: break;
+  }
+  return c.action == Action::None ? '.' : static_cast<char>(c.action);
+}
+
+}  // namespace
+
+std::string render_gantt(const ActivityTrace& trace, long from, long to) {
+  std::ostringstream os;
+  if (trace.empty()) return "(empty trace)\n";
+  const long end = to < 0 ? static_cast<long>(trace.size())
+                          : std::min<long>(to, static_cast<long>(trace.size()));
+  const long begin = std::clamp<long>(from, 0, end);
+  const std::size_t procs = trace.front().size();
+
+  // Time ruler (tens digit then units digit), helps reading long charts.
+  os << "      ";
+  for (long t = begin; t < end; ++t) os << ((t / 10) % 10);
+  os << '\n' << "      ";
+  for (long t = begin; t < end; ++t) os << (t % 10);
+  os << '\n';
+
+  for (std::size_t q = 0; q < procs; ++q) {
+    os << 'P' << (q + 1);
+    os << std::string(q + 1 >= 10 ? 2 : 3, ' ') << '|';
+    for (long t = begin; t < end; ++t) {
+      os << cell_char(trace[static_cast<std::size_t>(t)][q]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string gantt_legend() {
+  return "P=program transfer  D=data transfer  C=computing  I=enrolled idle  "
+         ".=up (not enrolled)  ~=RECLAIMED  #=DOWN\n";
+}
+
+}  // namespace tcgrid::sim

@@ -1,0 +1,21 @@
+// ASCII rendering of an activity trace, in the style of the paper's
+// Figure 1: one row per processor, one column per time slot.
+#pragma once
+
+#include <string>
+
+#include "sim/events.hpp"
+
+namespace tcgrid::sim {
+
+/// Render slots [from, to) of the trace (to < 0 means "to the end").
+///
+/// Cell legend:  P program transfer, D data transfer, C computing,
+///               I enrolled but idle, . un-enrolled UP, ~ RECLAIMED, # DOWN.
+[[nodiscard]] std::string render_gantt(const ActivityTrace& trace, long from = 0,
+                                       long to = -1);
+
+/// The legend string printed by examples alongside the chart.
+[[nodiscard]] std::string gantt_legend();
+
+}  // namespace tcgrid::sim

@@ -1,0 +1,64 @@
+// The engine's extension point: an on-line scheduler.
+//
+// The engine calls `decide` once per time slot, before processing
+// communications/computation for that slot. The view deliberately exposes
+// only on-line information: current states, holdings, and progress — never
+// future availability. (The paper's heuristics additionally know each
+// processor's Markov model, which is part of the platform description.)
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "markov/state.hpp"
+#include "model/application.hpp"
+#include "model/configuration.hpp"
+#include "model/holdings.hpp"
+#include "platform/platform.hpp"
+
+namespace tcgrid::sim {
+
+/// Everything a scheduler may observe at a decision point.
+struct SchedulerView {
+  long slot = 0;                        ///< current time slot
+  const platform::Platform* platform = nullptr;
+  const model::Application* app = nullptr;
+
+  std::span<const markov::State> states;    ///< per-processor state, this slot
+  std::span<const model::Holdings> holdings;  ///< per-processor possessions
+
+  /// Current configuration, or nullptr when none is in place (start of run,
+  /// start of an iteration, or after a failure aborted the previous one).
+  const model::Configuration* config = nullptr;
+
+  long iteration_elapsed = 0;  ///< slots since the current iteration began
+  long compute_total = 0;      ///< W for the current configuration (0 if none)
+  long compute_done = 0;       ///< all-UP compute slots already banked
+
+  /// Remaining communication slots per processor under the current
+  /// configuration (0 for un-enrolled processors), including credit for the
+  /// in-flight partial message.
+  std::span<const long> comm_remaining;
+
+  [[nodiscard]] bool has_config() const noexcept {
+    return config != nullptr && !config->empty();
+  }
+};
+
+/// On-line scheduling policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Return a new configuration to install (its workers must all be UP in
+  /// this slot), or std::nullopt to keep the current one (or stay idle when
+  /// there is none). Installing a new configuration over an existing one
+  /// aborts the in-progress computation (tight coupling: partial work lost).
+  virtual std::optional<model::Configuration> decide(const SchedulerView& view) = 0;
+
+  /// Human-readable policy name (e.g. "Y-IE").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace tcgrid::sim

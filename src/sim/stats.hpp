@@ -1,0 +1,31 @@
+// Per-run and per-iteration statistics produced by the engine.
+#pragma once
+
+#include <vector>
+
+namespace tcgrid::sim {
+
+/// Breakdown of a single completed application iteration.
+struct IterationStats {
+  long start_slot = 0;      ///< slot at which the iteration began
+  long end_slot = 0;        ///< slot at which the last compute slot landed
+  long comm_slots = 0;      ///< slots with at least one active transfer
+  long compute_slots = 0;   ///< all-UP compute slots (== W on completion)
+  long suspended_slots = 0; ///< compute-phase slots lost to RECLAIMED workers
+  int restarts = 0;         ///< aborts due to an enrolled worker going DOWN
+  int reconfigurations = 0; ///< voluntary (proactive) configuration switches
+};
+
+/// Outcome of one simulation run.
+struct SimulationResult {
+  bool success = false;          ///< completed all iterations before the cap
+  long makespan = 0;             ///< slots used (== cap when !success)
+  int iterations_completed = 0;
+  std::vector<IterationStats> iterations;  ///< one entry per completed iteration
+
+  long total_restarts = 0;
+  long total_reconfigurations = 0;
+  long idle_slots = 0;  ///< slots with no configuration in place
+};
+
+}  // namespace tcgrid::sim

@@ -1,0 +1,51 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace tcgrid::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : arity_(header.size()) {
+  emit(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (row.size() != arity_) {
+    throw std::invalid_argument("CsvWriter::add_row: arity mismatch");
+  }
+  emit(row);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) buffer_ << ',';
+    buffer_ << escape(row[i]);
+  }
+  buffer_ << '\n';
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << buffer_.str();
+  return static_cast<bool>(out);
+}
+
+}  // namespace tcgrid::util

@@ -1,0 +1,36 @@
+// Small CSV writer for exporting experiment results (e.g. Figure 2 series)
+// so they can be plotted outside the harness.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tcgrid::util {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Append a row (same arity as the header).
+  void add_row(const std::vector<std::string>& row);
+
+  /// Serialize everything written so far.
+  [[nodiscard]] std::string str() const { return buffer_.str(); }
+
+  /// Write the accumulated content to a file. Returns false on I/O error.
+  bool save(const std::string& path) const;
+
+  /// Quote a field if it contains separators, quotes, or newlines.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  void emit(const std::vector<std::string>& row);
+
+  std::size_t arity_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace tcgrid::util

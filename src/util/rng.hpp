@@ -1,0 +1,86 @@
+// Deterministic random number generation with hierarchical stream derivation.
+//
+// Reproducibility is the backbone of the whole experiment harness: a trial's
+// availability realization must be a pure function of (scenario seed, trial
+// index) so that every heuristic evaluated on that trial sees the *same*
+// processor availability (paired comparison, as in the paper's methodology).
+//
+// We wrap std::mt19937_64 and derive child seeds with SplitMix64, which is
+// the recommended way to spawn decorrelated streams from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tcgrid::util {
+
+/// SplitMix64 step: maps a 64-bit state to a well-mixed 64-bit output.
+/// Used both as a seed scrambler and to derive independent child seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a parent seed with a stream index into a child seed.
+/// Distinct (seed, stream) pairs yield decorrelated child seeds.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t stream) noexcept {
+  return splitmix64(seed ^ splitmix64(stream ^ 0xa5a5a5a5a5a5a5a5ULL));
+}
+
+/// Seeded pseudo-random generator with the distributions the library needs.
+///
+/// All stochastic components (scenario generation, availability sampling,
+/// the RANDOM heuristic) take an explicit Rng; nothing reads global state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(splitmix64(seed)), seed_(seed) {}
+
+  /// The seed this generator was constructed with (pre-scrambling).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Child generator for an independent stream, e.g. one per trial.
+  [[nodiscard]] Rng spawn(std::uint64_t stream) const {
+    return Rng(derive_seed(seed_, stream));
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform01() { return uniform(0.0, 1.0); }
+
+  /// Uniform integer in the closed range [lo, hi].
+  [[nodiscard]] long uniform_int(long lo, long hi) {
+    return std::uniform_int_distribution<long>(lo, hi)(engine_);
+  }
+
+  /// Index in [0, n): convenience for choosing among n alternatives.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<long>(n) - 1));
+  }
+
+  /// Weibull-distributed positive real (shape k, scale lambda).
+  /// Used by the semi-Markov availability extension.
+  [[nodiscard]] double weibull(double shape, double scale) {
+    return std::weibull_distribution<double>(shape, scale)(engine_);
+  }
+
+  /// Exponential with given rate (> 0).
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Access to the underlying engine for std algorithms (e.g. std::shuffle).
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tcgrid::util

@@ -1,0 +1,34 @@
+// Column-aligned ASCII table formatting, used by the bench harness to print
+// the paper's Table I / Table II rows and by examples for readable output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tcgrid::util {
+
+/// Simple right-padded/left-padded text table.
+///
+/// Columns are sized to the widest cell. Numeric-looking cells are right
+/// aligned; everything else is left aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header underline, one row per line.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format a double with fixed precision (helper for table cells).
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcgrid::util

@@ -1,0 +1,56 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The experiment harness runs thousands of independent (scenario, trial,
+// heuristic) simulations; they parallelize embarrassingly. On a single-core
+// host the pool degrades gracefully to sequential execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tcgrid::util {
+
+/// Work-queue thread pool. Tasks are void() closures; exceptions inside
+/// tasks terminate (by design: harness tasks must not throw — they report
+/// failures through their result slots instead).
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 → hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across a pool; blocks until all complete.
+/// With `threads == 1` (or n small) this is effectively sequential, which
+/// keeps single-core runs deterministic and overhead-free.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace tcgrid::util

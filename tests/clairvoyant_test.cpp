@@ -1,0 +1,165 @@
+// Tests of the clairvoyant reference scheduler and its deterministic replay.
+#include <gtest/gtest.h>
+
+#include "offline/clairvoyant.hpp"
+#include "platform/availability.hpp"
+#include "platform/scenario.hpp"
+#include "platform/semi_markov.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace tcgrid::offline {
+namespace {
+
+using markov::State;
+
+platform::Platform make_platform(std::vector<long> speeds, int ncom) {
+  std::vector<platform::Processor> procs;
+  for (long s : speeds) {
+    platform::Processor pr;
+    pr.speed = s;
+    pr.max_tasks = 8;
+    pr.availability = markov::TransitionMatrix::from_self_loops(0.95, 0.9, 0.9);
+    procs.push_back(pr);
+  }
+  return platform::Platform(std::move(procs), ncom);
+}
+
+TEST(Replay, MatchesEngineOnFixedSchedule) {
+  // Same scenario as the Figure 1 engine test: the replay must predict the
+  // exact completion slot the engine produces.
+  std::vector<std::vector<State>> script(15, {State::Down, State::Up, State::Up,
+                                              State::Up, State::Down});
+  script[2][2] = State::Reclaimed;
+  script[3][2] = State::Reclaimed;
+  script[9][1] = State::Reclaimed;
+  script[10][1] = State::Reclaimed;
+  script[9][2] = State::Reclaimed;
+  script[10][2] = State::Reclaimed;
+  script[11][2] = State::Reclaimed;
+
+  auto plat = make_platform({1, 2, 3, 4, 5}, 2);
+  model::Application app;
+  app.num_tasks = 5;
+  app.t_prog = 2;
+  app.t_data = 1;
+  app.iterations = 1;
+
+  std::vector<model::Holdings> holdings(5);
+  model::Configuration cfg({{1, 2}, {2, 2}, {3, 1}});
+  EXPECT_EQ(replay_completion(plat, app, script, holdings, cfg, 0, 100), 14);
+}
+
+TEST(Replay, AbortsOnDown) {
+  std::vector<std::vector<State>> script(10, {State::Up, State::Up});
+  script[3][1] = State::Down;
+  auto plat = make_platform({2, 2}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 2;
+  app.t_data = 1;
+  app.iterations = 1;
+  std::vector<model::Holdings> holdings(2);
+  model::Configuration cfg({{0, 1}, {1, 1}});
+  EXPECT_EQ(replay_completion(plat, app, script, holdings, cfg, 0, 100), -1);
+}
+
+TEST(Replay, CreditsHoldings) {
+  std::vector<std::vector<State>> script(1, {State::Up});
+  auto plat = make_platform({3}, 1);
+  model::Application app;
+  app.num_tasks = 1;
+  app.t_prog = 5;
+  app.t_data = 2;
+  app.iterations = 1;
+  std::vector<model::Holdings> holdings(1);
+  model::Configuration cfg({{0, 1}});
+  // Cold: 7 comm slots + 3 compute -> finishes at slot 9.
+  EXPECT_EQ(replay_completion(plat, app, script, holdings, cfg, 0, 100), 9);
+  // Program held: 2 comm + 3 compute -> slot 4.
+  holdings[0].has_program = true;
+  EXPECT_EQ(replay_completion(plat, app, script, holdings, cfg, 0, 100), 4);
+  // Data held too: straight to compute -> slot 2.
+  holdings[0].data_messages = 1;
+  EXPECT_EQ(replay_completion(plat, app, script, holdings, cfg, 0, 100), 2);
+}
+
+TEST(Replay, RespectsHorizon) {
+  std::vector<std::vector<State>> script(4, {State::Reclaimed});
+  auto plat = make_platform({1}, 1);
+  model::Application app;
+  app.num_tasks = 1;
+  app.t_prog = 0;
+  app.t_data = 0;
+  app.iterations = 1;
+  std::vector<model::Holdings> holdings(1);
+  model::Configuration cfg({{0, 1}});
+  EXPECT_EQ(replay_completion(plat, app, script, holdings, cfg, 0, 3), -1);
+  // Beyond the script everything is UP, so a longer horizon succeeds.
+  EXPECT_EQ(replay_completion(plat, app, script, holdings, cfg, 0, 10), 4);
+}
+
+TEST(Clairvoyant, AvoidsWorkerThatWillCrash) {
+  // Two identical workers; P0 crashes at slot 5. The clairvoyant must put
+  // the single task on P1 even though both look identical right now.
+  std::vector<std::vector<State>> script(12, {State::Up, State::Up});
+  script[5][0] = State::Down;
+  auto plat = make_platform({2, 2}, 2);
+  model::Application app;
+  app.num_tasks = 1;
+  app.t_prog = 2;
+  app.t_data = 1;
+  app.iterations = 1;
+
+  ClairvoyantScheduler sched(plat, app, script);
+  platform::FixedAvailability avail(script);
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.total_restarts, 0);  // never surprised by the crash
+}
+
+TEST(Clairvoyant, NeverLosesToOnlineHeuristicsOnAverage) {
+  // Across several recorded Markov trials, the clairvoyant's mean makespan
+  // must not exceed the best on-line heuristic's (it sees the future; ties
+  // are possible on easy traces).
+  platform::ScenarioParams params;
+  params.m = 5;
+  params.ncom = 5;
+  params.wmin = 2;
+  params.seed = 13;
+  params.iterations = 5;
+  auto scenario = platform::make_scenario(params);
+  sched::Estimator est(scenario.platform, scenario.app, 1e-6);
+
+  double clair_total = 0.0, online_best_total = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    platform::MarkovAvailability source(
+        scenario.platform, util::derive_seed(params.seed, 1000 + trial));
+    auto timeline = platform::record(source, 30000);
+
+    ClairvoyantScheduler clair(scenario.platform, scenario.app, timeline);
+    platform::FixedAvailability avail1(timeline);
+    sim::EngineOptions opts;
+    opts.slot_cap = 30000;
+    sim::Engine e1(scenario.platform, scenario.app, avail1, clair, opts);
+    const auto rc = e1.run();
+    ASSERT_TRUE(rc.success);
+    clair_total += static_cast<double>(rc.makespan);
+
+    long best = std::numeric_limits<long>::max();
+    for (const char* name : {"IE", "Y-IE"}) {
+      platform::FixedAvailability avail2(timeline);
+      auto sched = sched::make_scheduler(name, est, 1);
+      sim::Engine e2(scenario.platform, scenario.app, avail2, *sched, opts);
+      const auto r = e2.run();
+      if (r.success) best = std::min(best, r.makespan);
+    }
+    ASSERT_NE(best, std::numeric_limits<long>::max());
+    online_best_total += static_cast<double>(best);
+  }
+  EXPECT_LE(clair_total, online_best_total);
+}
+
+}  // namespace
+}  // namespace tcgrid::offline

@@ -1,0 +1,84 @@
+// Tests of the §VI metric/criterion scores: sign conventions, the yield's
+// dependence on elapsed time, and name round-trips.
+#include <gtest/gtest.h>
+
+#include "sched/criteria.hpp"
+
+namespace tcgrid::sched {
+namespace {
+
+TEST(Criteria, Names) {
+  EXPECT_EQ(to_string(Rule::IP), "IP");
+  EXPECT_EQ(to_string(Rule::IE), "IE");
+  EXPECT_EQ(to_string(Rule::IY), "IY");
+  EXPECT_EQ(to_string(Rule::IAY), "IAY");
+  EXPECT_EQ(to_string(Criterion::P), "P");
+  EXPECT_EQ(to_string(Criterion::E), "E");
+  EXPECT_EQ(to_string(Criterion::Y), "Y");
+}
+
+TEST(Criteria, IPIsProbability) {
+  IterationEstimate est{0.42, 100.0};
+  EXPECT_DOUBLE_EQ(rule_score(Rule::IP, est, 17), 0.42);
+}
+
+TEST(Criteria, IENegatesTime) {
+  IterationEstimate fast{0.1, 10.0};
+  IterationEstimate slow{0.9, 50.0};
+  // Larger score must mean better: the faster config wins under IE even with
+  // a lower success probability.
+  EXPECT_GT(rule_score(Rule::IE, fast, 0), rule_score(Rule::IE, slow, 0));
+}
+
+TEST(Criteria, YieldDividesByElapsedPlusExpected) {
+  IterationEstimate est{0.5, 10.0};
+  EXPECT_DOUBLE_EQ(rule_score(Rule::IY, est, 0), 0.05);
+  EXPECT_DOUBLE_EQ(rule_score(Rule::IY, est, 40), 0.01);
+  // Apparent yield ignores the sunk time.
+  EXPECT_DOUBLE_EQ(rule_score(Rule::IAY, est, 40), 0.05);
+}
+
+TEST(Criteria, YieldDecreasesWithElapsedTime) {
+  IterationEstimate est{0.5, 10.0};
+  double prev = rule_score(Rule::IY, est, 0);
+  for (long t = 1; t <= 100; t += 7) {
+    const double cur = rule_score(Rule::IY, est, t);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Criteria, CriterionDelegatesToMatchingRule) {
+  IterationEstimate est{0.3, 25.0};
+  for (long t : {0L, 5L, 50L}) {
+    EXPECT_DOUBLE_EQ(criterion_score(Criterion::P, est, t),
+                     rule_score(Rule::IP, est, t));
+    EXPECT_DOUBLE_EQ(criterion_score(Criterion::E, est, t),
+                     rule_score(Rule::IE, est, t));
+    EXPECT_DOUBLE_EQ(criterion_score(Criterion::Y, est, t),
+                     rule_score(Rule::IY, est, t));
+  }
+}
+
+TEST(Criteria, DegenerateEstimatesAreFinite) {
+  IterationEstimate zero{1.0, 0.0};
+  EXPECT_TRUE(std::isfinite(rule_score(Rule::IAY, zero, 0)));
+  EXPECT_TRUE(std::isfinite(rule_score(Rule::IY, zero, 0)));
+}
+
+TEST(Criteria, ProgressImprovesEveryCriterion) {
+  // The §VI-B stability requirement in miniature: as an iteration progresses
+  // (remaining E shrinks, remaining P grows), the updated score must not get
+  // worse for any criterion, even as elapsed time grows.
+  IterationEstimate before{0.4, 60.0};
+  IterationEstimate after{0.6, 40.0};  // 20 slots later, work banked
+  EXPECT_GE(criterion_score(Criterion::P, after, 20),
+            criterion_score(Criterion::P, before, 0));
+  EXPECT_GE(criterion_score(Criterion::E, after, 20),
+            criterion_score(Criterion::E, before, 0));
+  EXPECT_GE(criterion_score(Criterion::Y, after, 20),
+            criterion_score(Criterion::Y, before, 0));
+}
+
+}  // namespace
+}  // namespace tcgrid::sched

@@ -1,0 +1,222 @@
+// Additional engine edge cases: single-task applications, mu saturation,
+// iteration bookkeeping, trace integrity, holdings visibility through the
+// SchedulerView, and multi-iteration data reset semantics.
+#include <gtest/gtest.h>
+
+#include "platform/availability.hpp"
+#include "sim/engine.hpp"
+
+namespace tcgrid {
+namespace {
+
+using markov::State;
+
+platform::Platform make_platform(std::vector<long> speeds, int ncom, int mu = 8) {
+  std::vector<platform::Processor> procs;
+  for (long s : speeds) {
+    platform::Processor pr;
+    pr.speed = s;
+    pr.max_tasks = mu;
+    pr.availability = markov::TransitionMatrix::from_self_loops(0.95, 0.9, 0.9);
+    procs.push_back(pr);
+  }
+  return platform::Platform(std::move(procs), ncom);
+}
+
+class PinScheduler final : public sim::Scheduler {
+ public:
+  explicit PinScheduler(model::Configuration config) : config_(std::move(config)) {}
+  std::optional<model::Configuration> decide(const sim::SchedulerView& view) override {
+    last_view_holdings_.assign(view.holdings.begin(), view.holdings.end());
+    last_elapsed_ = view.iteration_elapsed;
+    last_compute_done_ = view.compute_done;
+    if (view.has_config()) return std::nullopt;
+    for (const auto& a : config_.assignments()) {
+      if (view.states[static_cast<std::size_t>(a.proc)] != State::Up) {
+        return std::nullopt;
+      }
+    }
+    return config_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "pin"; }
+
+  std::vector<model::Holdings> last_view_holdings_;
+  long last_elapsed_ = -1;
+  long last_compute_done_ = -1;
+
+ private:
+  model::Configuration config_;
+};
+
+TEST(EngineEdge, SingleTaskSingleWorker) {
+  auto plat = make_platform({4}, 1);
+  model::Application app;
+  app.num_tasks = 1;
+  app.t_prog = 1;
+  app.t_data = 1;
+  app.iterations = 2;
+  platform::FixedAvailability avail({{State::Up}});
+  PinScheduler sched(model::Configuration({{0, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  // Iter 1: 2 comm + 4 compute = 6; iter 2: 1 comm (program held) + 4 = 5.
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 11);
+}
+
+TEST(EngineEdge, MuSaturatedStacking) {
+  // One worker runs all m = 3 tasks (mu = 4): W = 3 * speed.
+  auto plat = make_platform({2}, 1, /*mu=*/4);
+  model::Application app;
+  app.num_tasks = 3;
+  app.t_prog = 0;
+  app.t_data = 0;
+  app.iterations = 1;
+  platform::FixedAvailability avail({{State::Up}});
+  PinScheduler sched(model::Configuration({{0, 3}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 6);
+}
+
+TEST(EngineEdge, IterationStatsAreContiguousAndOrdered) {
+  auto plat = make_platform({1, 2}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 1;
+  app.t_data = 1;
+  app.iterations = 4;
+  platform::MarkovAvailability avail(plat, 5);
+  PinScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::EngineOptions opts;
+  opts.slot_cap = 100000;
+  sim::Engine engine(plat, app, avail, sched, opts);
+  auto r = engine.run();
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.iterations.size(), 4u);
+  long prev_end = -1;
+  for (const auto& it : r.iterations) {
+    EXPECT_EQ(it.start_slot, prev_end + 1);  // iterations tile the timeline
+    EXPECT_GE(it.end_slot, it.start_slot);
+    prev_end = it.end_slot;
+  }
+  EXPECT_EQ(r.iterations.back().end_slot, r.makespan - 1);
+}
+
+TEST(EngineEdge, TraceLengthEqualsMakespan) {
+  auto plat = make_platform({1, 1}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 1;
+  app.t_data = 1;
+  app.iterations = 2;
+  platform::FixedAvailability avail({std::vector<State>(2, State::Up)});
+  PinScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::EngineOptions opts;
+  opts.record_trace = true;
+  sim::Engine engine(plat, app, avail, sched, opts);
+  auto r = engine.run();
+  EXPECT_EQ(static_cast<long>(engine.trace().size()), r.makespan);
+}
+
+TEST(EngineEdge, ViewExposesHoldingsAndProgress) {
+  auto plat = make_platform({2, 2}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 2;
+  app.t_data = 1;
+  app.iterations = 1;
+  platform::FixedAvailability avail({std::vector<State>(2, State::Up)});
+  PinScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  EXPECT_TRUE(r.success);
+  // Last decide happened at the final compute slot: program held, one data
+  // message banked, and compute_done reflects banked progress.
+  ASSERT_EQ(sched.last_view_holdings_.size(), 2u);
+  EXPECT_TRUE(sched.last_view_holdings_[0].has_program);
+  EXPECT_EQ(sched.last_view_holdings_[0].data_messages, 1);
+  EXPECT_EQ(sched.last_elapsed_, r.makespan - 1);
+  EXPECT_EQ(sched.last_compute_done_, 1);  // W = 2; final slot banks the 2nd
+}
+
+TEST(EngineEdge, DataResetBetweenIterationsButProgramKept) {
+  auto plat = make_platform({1, 1}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 3;
+  app.t_data = 2;
+  app.iterations = 3;
+  platform::FixedAvailability avail({std::vector<State>(2, State::Up)});
+  PinScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.iterations.size(), 3u);
+  // First iteration pays program + data; later iterations pay data only.
+  EXPECT_EQ(r.iterations[0].comm_slots, 5);
+  EXPECT_EQ(r.iterations[1].comm_slots, 2);
+  EXPECT_EQ(r.iterations[2].comm_slots, 2);
+}
+
+TEST(EngineEdge, DownOfUnenrolledWorkerIsHarmless) {
+  // P2 flaps DOWN while only P0/P1 are enrolled: no restart.
+  std::vector<std::vector<State>> script(
+      10, {State::Up, State::Up, State::Down});
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({1, 1, 1}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 1;
+  app.t_data = 1;
+  app.iterations = 1;
+  PinScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.total_restarts, 0);
+}
+
+TEST(EngineEdge, RejectsBadConstructionParameters) {
+  auto plat = make_platform({1, 1}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.iterations = 1;
+  platform::FixedAvailability small({{State::Up}});  // 1 proc vs platform 2
+  PinScheduler sched(model::Configuration({{0, 2}}));
+  EXPECT_THROW(sim::Engine(plat, app, small, sched), std::invalid_argument);
+
+  platform::FixedAvailability ok({std::vector<State>(2, State::Up)});
+  sim::EngineOptions opts;
+  opts.slot_cap = 0;
+  EXPECT_THROW(sim::Engine(plat, app, ok, sched, opts), std::invalid_argument);
+}
+
+TEST(EngineEdge, SuspendedCommWholeConfigReclaimed) {
+  // Everyone RECLAIMED during the comm phase: nothing progresses, nothing
+  // is lost; transfers resume afterwards.
+  std::vector<std::vector<State>> script = {
+      {State::Up, State::Up},
+      {State::Reclaimed, State::Reclaimed},
+      {State::Reclaimed, State::Reclaimed},
+      {State::Up, State::Up},
+  };
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({1, 1}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 1;
+  app.t_data = 1;
+  app.iterations = 1;
+  PinScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  // Comm slots 0, 3 (2 each in parallel); compute at 4 -> makespan 5.
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 5);
+  EXPECT_EQ(r.total_restarts, 0);
+}
+
+}  // namespace
+}  // namespace tcgrid

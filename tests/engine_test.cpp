@@ -1,0 +1,380 @@
+// Tests of the time-slot simulation engine (paper §III-C semantics):
+// communication under the ncom bound, lock-step computation, RECLAIMED
+// suspension, DOWN restarts, holdings reuse, and a Figure-1-style
+// walk-through pinned slot by slot.
+#include <gtest/gtest.h>
+
+#include "platform/availability.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+
+namespace tcgrid {
+namespace {
+
+using markov::State;
+
+/// Installs one fixed configuration whenever none is active and all its
+/// workers are UP; otherwise waits.
+class ScriptedScheduler final : public sim::Scheduler {
+ public:
+  explicit ScriptedScheduler(model::Configuration config) : config_(std::move(config)) {}
+
+  std::optional<model::Configuration> decide(const sim::SchedulerView& view) override {
+    if (view.has_config()) return std::nullopt;
+    for (const auto& a : config_.assignments()) {
+      if (view.states[static_cast<std::size_t>(a.proc)] != State::Up) {
+        return std::nullopt;
+      }
+    }
+    return config_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+
+ private:
+  model::Configuration config_;
+};
+
+platform::Platform make_platform(std::vector<long> speeds, int ncom, int mu = 8) {
+  std::vector<platform::Processor> procs;
+  for (long s : speeds) {
+    platform::Processor pr;
+    pr.speed = s;
+    pr.max_tasks = mu;
+    pr.availability = markov::TransitionMatrix::from_self_loops(0.95, 0.9, 0.9);
+    procs.push_back(pr);
+  }
+  return platform::Platform(std::move(procs), ncom);
+}
+
+model::Application make_app(int m, long t_prog, long t_data, int iterations) {
+  model::Application app;
+  app.num_tasks = m;
+  app.t_prog = t_prog;
+  app.t_data = t_data;
+  app.iterations = iterations;
+  return app;
+}
+
+/// All-UP availability forever.
+platform::FixedAvailability always_up(int p) {
+  return platform::FixedAvailability({std::vector<State>(static_cast<std::size_t>(p),
+                                                         State::Up)});
+}
+
+// ------------------------------------------------ basic comm/compute ----
+
+TEST(Engine, SerializedCommunicationUnderNcom1) {
+  auto plat = make_platform({1, 1}, /*ncom=*/1);
+  auto app = make_app(/*m=*/2, /*t_prog=*/2, /*t_data=*/1, /*iterations=*/1);
+  auto avail = always_up(2);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  // Each worker needs 3 comm slots; ncom=1 serializes: 6 comm slots, then
+  // W = 1 compute slot -> makespan 7.
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 7);
+  ASSERT_EQ(r.iterations.size(), 1u);
+  EXPECT_EQ(r.iterations[0].comm_slots, 6);
+  EXPECT_EQ(r.iterations[0].compute_slots, 1);
+}
+
+TEST(Engine, ParallelCommunicationUnderNcom2) {
+  auto plat = make_platform({1, 1}, /*ncom=*/2);
+  auto app = make_app(2, 2, 1, 1);
+  auto avail = always_up(2);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  // Both transfers in parallel: 3 comm slots + 1 compute -> makespan 4.
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 4);
+}
+
+TEST(Engine, ProgramPersistsAcrossIterations) {
+  auto plat = make_platform({1, 1}, 2);
+  auto app = make_app(2, 2, 1, /*iterations=*/2);
+  auto avail = always_up(2);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  // Iter 1: 3 comm + 1 compute = 4 slots. Iter 2: program already held,
+  // 1 data slot + 1 compute = 2 slots. Total 6.
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 6);
+  ASSERT_EQ(r.iterations.size(), 2u);
+  EXPECT_EQ(r.iterations[1].comm_slots, 1);
+}
+
+TEST(Engine, ZeroCommCostsSkipCommPhase) {
+  auto plat = make_platform({2, 2}, 2);
+  auto app = make_app(2, /*t_prog=*/0, /*t_data=*/0, 1);
+  auto avail = always_up(2);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 2);  // W = 2 compute slots only
+}
+
+TEST(Engine, ComputeSlotsEqualMaxLoad) {
+  auto plat = make_platform({3, 5}, 2);
+  auto app = make_app(3, 0, 0, 1);
+  auto avail = always_up(2);
+  // Loads: 2*3=6 on P0, 1*5=5 on P1 -> W = 6.
+  ScriptedScheduler sched(model::Configuration({{0, 2}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 6);
+  EXPECT_EQ(r.iterations[0].compute_slots, 6);
+}
+
+// ------------------------------------------------------- suspension ----
+
+TEST(Engine, ReclaimedWorkerSuspendsEveryone) {
+  // P1 reclaimed at slots 1-2 during the compute phase (no comm costs).
+  std::vector<std::vector<State>> script = {
+      {State::Up, State::Up},
+      {State::Up, State::Reclaimed},
+      {State::Up, State::Reclaimed},
+      {State::Up, State::Up},
+  };
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({2, 2}, 2);
+  auto app = make_app(2, 0, 0, 1);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  // W = 2: compute at slot 0, suspended 1-2, compute at slot 3 -> makespan 4.
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 4);
+  EXPECT_EQ(r.iterations[0].suspended_slots, 2);
+  EXPECT_EQ(r.iterations[0].compute_slots, 2);
+  EXPECT_EQ(r.total_restarts, 0);
+}
+
+TEST(Engine, ReclaimedPausesOnlyItsTransfer) {
+  // P0 reclaimed during comm: P1's transfer proceeds; P0 resumes later
+  // without losing partial progress.
+  std::vector<std::vector<State>> script = {
+      {State::Up, State::Up},
+      {State::Reclaimed, State::Up},
+      {State::Up, State::Up},
+  };
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({1, 1}, 2);
+  auto app = make_app(2, 2, 1, 1);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  // P1: slots 0,1,2 -> done at end of slot 2. P0: slot 0 (prog 1/2), slot 1
+  // reclaimed, slots 2,3 -> prog done end of 2 (1 slot in 0 + 1 in 2)...
+  // P0 needs 3 comm slots total: serves at 0, 2, 3. Compute at 4 -> makespan 5.
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 5);
+}
+
+// ---------------------------------------------------------- failures ----
+
+TEST(Engine, DownDuringComputeRestartsIteration) {
+  // Both UP long enough to finish comm (none) and one compute slot of W=2,
+  // then P1 goes DOWN for one slot.
+  std::vector<std::vector<State>> script = {
+      {State::Up, State::Up},   // compute slot 1/2
+      {State::Up, State::Down}, // abort
+      {State::Up, State::Up},   // re-install, compute 1/2
+      {State::Up, State::Up},   // compute 2/2
+  };
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({2, 2}, 2);
+  auto app = make_app(2, 0, 0, 1);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 4);
+  EXPECT_EQ(r.total_restarts, 1);
+  EXPECT_EQ(r.iterations[0].restarts, 1);
+}
+
+TEST(Engine, DownLosesProgramAndDataOfThatWorkerOnly) {
+  // With comm costs: after the iteration aborts, the crashed worker must
+  // re-receive program+data while the survivor reuses what it holds.
+  std::vector<std::vector<State>> script = {
+      {State::Up, State::Up},  // slot 0: both receive program (1/2)
+      {State::Up, State::Up},  // slot 1: program done
+      {State::Up, State::Up},  // slot 2: data done (both) -> comm complete
+      {State::Up, State::Down},  // slot 3: abort; P1 loses everything
+      {State::Up, State::Up},  // slot 4: reinstall; P1 re-receives prog (1/2)
+      {State::Up, State::Up},  // slot 5: P1 prog done
+      {State::Up, State::Up},  // slot 6: P1 data done
+      {State::Up, State::Up},  // slot 7: compute 1/1
+  };
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({1, 1}, 2);
+  auto app = make_app(2, 2, 1, 1);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::EngineOptions opts;
+  opts.record_trace = true;
+  sim::Engine engine(plat, app, avail, sched, opts);
+  auto r = engine.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 8);
+  EXPECT_EQ(r.total_restarts, 1);
+  // Survivor P0 must not transfer anything after the restart.
+  const auto& trace = engine.trace();
+  for (long t = 4; t < 8; ++t) {
+    const auto a = trace[static_cast<std::size_t>(t)][0].action;
+    EXPECT_TRUE(a == sim::Action::Idle || a == sim::Action::Compute)
+        << "slot " << t;
+  }
+}
+
+TEST(Engine, CapHitMeansFailure) {
+  // P1 permanently DOWN (for longer than the cap): the scripted config can
+  // never be installed.
+  std::vector<std::vector<State>> long_script(100, {State::Up, State::Down});
+  platform::FixedAvailability avail2(long_script);
+  auto plat = make_platform({1, 1}, 2);
+  auto app = make_app(2, 0, 0, 1);
+  ScriptedScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::EngineOptions opts;
+  opts.slot_cap = 50;
+  sim::Engine engine(plat, app, avail2, sched, opts);
+  auto r = engine.run();
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.makespan, 50);
+  EXPECT_EQ(r.iterations_completed, 0);
+  EXPECT_EQ(r.idle_slots, 50);
+}
+
+// --------------------------------------------------------- validation ----
+
+class BadScheduler final : public sim::Scheduler {
+ public:
+  explicit BadScheduler(model::Configuration cfg) : cfg_(std::move(cfg)) {}
+  std::optional<model::Configuration> decide(const sim::SchedulerView&) override {
+    return cfg_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "bad"; }
+
+ private:
+  model::Configuration cfg_;
+};
+
+TEST(Engine, RejectsEnrollingDownWorker) {
+  std::vector<std::vector<State>> script(10, {State::Up, State::Down});
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({1, 1}, 2);
+  auto app = make_app(2, 0, 0, 1);
+  BadScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+TEST(Engine, RejectsWrongTaskTotal) {
+  auto plat = make_platform({1, 1}, 2);
+  auto app = make_app(2, 0, 0, 1);
+  auto avail = always_up(2);
+  BadScheduler sched(model::Configuration({{0, 1}}));  // 1 task, m = 2
+  sim::Engine engine(plat, app, avail, sched);
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+TEST(Engine, RejectsMuViolation) {
+  auto plat = make_platform({1, 1}, 2, /*mu=*/1);
+  auto app = make_app(2, 0, 0, 1);
+  auto avail = always_up(2);
+  BadScheduler sched(model::Configuration({{0, 2}}));  // 2 tasks on mu=1
+  sim::Engine engine(plat, app, avail, sched);
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+TEST(Engine, RejectsDuplicateWorker) {
+  auto plat = make_platform({1, 1}, 2);
+  auto app = make_app(2, 0, 0, 1);
+  auto avail = always_up(2);
+  BadScheduler sched(model::Configuration({{0, 1}, {0, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+// --------------------------------------------- Figure 1 walk-through ----
+
+TEST(Engine, Figure1StyleWalkthrough) {
+  // The paper's example (Fig. 1): speeds w_i = i, ncom = 2, Tprog = 2,
+  // Tdata = 1, m = 5 tasks mapped as 2 on P2, 2 on P3, 1 on P4 (W = 6).
+  // P1/P5 unavailable throughout; P3 reclaimed during comm; P2 and P3
+  // reclaimed mid-computation. Slot-exact pin of the engine's semantics.
+  std::vector<std::vector<State>> script(15, {State::Down, State::Up, State::Up,
+                                              State::Up, State::Down});
+  script[2][2] = State::Reclaimed;   // P3 reclaimed slots 2-3
+  script[3][2] = State::Reclaimed;
+  script[9][1] = State::Reclaimed;   // P2 reclaimed slots 9-10
+  script[10][1] = State::Reclaimed;
+  script[9][2] = State::Reclaimed;   // P3 reclaimed slots 9-11
+  script[10][2] = State::Reclaimed;
+  script[11][2] = State::Reclaimed;
+
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({1, 2, 3, 4, 5}, /*ncom=*/2);
+  auto app = make_app(5, /*t_prog=*/2, /*t_data=*/1, 1);
+  ScriptedScheduler sched(model::Configuration({{1, 2}, {2, 2}, {3, 1}}));
+  sim::EngineOptions opts;
+  opts.record_trace = true;
+  sim::Engine engine(plat, app, avail, sched, opts);
+  auto r = engine.run();
+
+  // Hand-derived schedule: comm occupies slots 0-5, computation runs at
+  // slots 6,7,8 then suspends 9-11 (reclaimed) and finishes 12,13,14.
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.makespan, 15);
+  ASSERT_EQ(r.iterations.size(), 1u);
+  EXPECT_EQ(r.iterations[0].comm_slots, 6);
+  EXPECT_EQ(r.iterations[0].compute_slots, 6);
+  EXPECT_EQ(r.iterations[0].suspended_slots, 3);
+  EXPECT_EQ(r.total_restarts, 0);
+
+  const auto& trace = engine.trace();
+  // Slot 0: P2 and P3 receive the program; P4 waits for bandwidth.
+  EXPECT_EQ(trace[0][1].action, sim::Action::Program);
+  EXPECT_EQ(trace[0][2].action, sim::Action::Program);
+  EXPECT_EQ(trace[0][3].action, sim::Action::Idle);
+  // Slot 2: P3 reclaimed; P2 gets data, P4 starts its program.
+  EXPECT_EQ(trace[2][1].action, sim::Action::Data);
+  EXPECT_EQ(trace[2][3].action, sim::Action::Program);
+  EXPECT_EQ(trace[2][2].state, State::Reclaimed);
+  // Slot 6: everyone computes.
+  for (int q : {1, 2, 3}) {
+    EXPECT_EQ(trace[6][static_cast<std::size_t>(q)].action, sim::Action::Compute);
+  }
+  // Slot 9: computation suspended.
+  EXPECT_EQ(trace[9][3].action, sim::Action::Idle);
+
+  // The Gantt renderer covers the whole run.
+  const std::string gantt = sim::render_gantt(engine.trace());
+  EXPECT_NE(gantt.find('C'), std::string::npos);
+  EXPECT_NE(gantt.find('~'), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+// -------------------------------------------------------- determinism ----
+
+TEST(Engine, MarkovRunsAreReproducible) {
+  auto plat = make_platform({1, 2, 3}, 2);
+  auto app = make_app(3, 2, 1, 3);
+  ScriptedScheduler sched1(model::Configuration({{0, 1}, {1, 1}, {2, 1}}));
+  ScriptedScheduler sched2(model::Configuration({{0, 1}, {1, 1}, {2, 1}}));
+  platform::MarkovAvailability a1(plat, 321), a2(plat, 321);
+  sim::Engine e1(plat, app, a1, sched1);
+  sim::Engine e2(plat, app, a2, sched2);
+  auto r1 = e1.run();
+  auto r2 = e2.run();
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.success, r2.success);
+  EXPECT_EQ(r1.total_restarts, r2.total_restarts);
+}
+
+}  // namespace
+}  // namespace tcgrid

@@ -1,0 +1,189 @@
+// Tests of the scheduling estimator (paper §V wired for decisions):
+// communication-phase estimates under the ncom bound, survival tables,
+// composition of the iteration estimate, and memoization behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/spectral.hpp"
+#include "platform/scenario.hpp"
+#include "sched/estimator.hpp"
+
+namespace tcgrid::sched {
+namespace {
+
+platform::Platform make_platform(int p, int ncom, double uu = 0.95) {
+  std::vector<platform::Processor> procs;
+  for (int q = 0; q < p; ++q) {
+    platform::Processor pr;
+    pr.speed = q + 1;
+    pr.max_tasks = 8;
+    pr.availability = markov::TransitionMatrix::from_self_loops(uu, 0.9, 0.9);
+    procs.push_back(pr);
+  }
+  return platform::Platform(std::move(procs), ncom);
+}
+
+model::Application make_app(int m = 4, long t_prog = 10, long t_data = 2) {
+  model::Application app;
+  app.num_tasks = m;
+  app.t_prog = t_prog;
+  app.t_data = t_data;
+  return app;
+}
+
+TEST(Estimator, RejectsBadEps) {
+  auto plat = make_platform(2, 2);
+  auto app = make_app();
+  EXPECT_THROW(Estimator(plat, app, 0.0), std::invalid_argument);
+  EXPECT_THROW(Estimator(plat, app, -1.0), std::invalid_argument);
+}
+
+TEST(Estimator, PNoDownMatchesSpectral) {
+  auto plat = make_platform(3, 2);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const auto ur = markov::ur_submatrix(plat.proc(1).availability);
+  for (long t : {0L, 1L, 5L, 17L, 64L, 200L}) {
+    EXPECT_NEAR(est.p_no_down(1, t),
+                markov::p_no_down(ur, static_cast<std::size_t>(t)), 1e-12);
+  }
+}
+
+TEST(Estimator, PNoDownTableGrowsConsistently) {
+  // Querying out of order must not corrupt the lazily grown table.
+  auto plat = make_platform(2, 2);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const double big_first = est.p_no_down(0, 300);
+  const double small = est.p_no_down(0, 10);
+  Estimator fresh(plat, app, 1e-10);
+  EXPECT_DOUBLE_EQ(small, fresh.p_no_down(0, 10));
+  EXPECT_DOUBLE_EQ(big_first, fresh.p_no_down(0, 300));
+}
+
+TEST(Estimator, CommTimeIsMaxWhenUnderNcom) {
+  auto plat = make_platform(3, /*ncom=*/3);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const Estimator::CommNeed needs[] = {{0, 4}, {1, 10}, {2, 2}};
+  // |S| <= ncom: the estimate is the max of per-worker expected times.
+  double expected = 0.0;
+  for (const auto& n : needs) {
+    expected = std::max(expected, est.proc_stats(n.proc).expected_time(n.slots));
+  }
+  EXPECT_DOUBLE_EQ(est.expected_comm_time(needs), expected);
+}
+
+TEST(Estimator, CommTimeIncludesBandwidthBoundOverNcom) {
+  auto plat = make_platform(4, /*ncom=*/1);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const Estimator::CommNeed needs[] = {{0, 5}, {1, 5}, {2, 5}, {3, 5}};
+  // sum/ncom = 20; individual expected times are near 5-7, so the bandwidth
+  // term dominates.
+  EXPECT_GE(est.expected_comm_time(needs), 20.0);
+}
+
+TEST(Estimator, ZeroNeedsZeroCommTime) {
+  auto plat = make_platform(3, 1);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const Estimator::CommNeed needs[] = {{0, 0}, {1, 0}, {2, 0}};
+  EXPECT_DOUBLE_EQ(est.expected_comm_time(needs), 0.0);
+}
+
+TEST(Estimator, EvaluateComposesCommAndCompute) {
+  auto plat = make_platform(2, 2);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const int set[] = {0, 1};
+  const Estimator::CommNeed needs[] = {{0, 3}, {1, 3}};
+  const long w = 7;
+
+  const auto full = est.evaluate(needs, set, w);
+  const auto& st = est.set_stats(set);
+  const double e_comm = est.expected_comm_time(needs);
+  const long t = static_cast<long>(std::ceil(e_comm));
+  const double p_comm = est.p_no_down(0, t) * est.p_no_down(1, t);
+  EXPECT_NEAR(full.e_time, e_comm + st.expected_time(w), 1e-12);
+  EXPECT_NEAR(full.p_success, p_comm * st.success_prob(w), 1e-12);
+}
+
+TEST(Estimator, NoCommNoSurvivalPenalty) {
+  auto plat = make_platform(2, 2);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const int set[] = {0, 1};
+  const Estimator::CommNeed needs[] = {{0, 0}, {1, 0}};
+  const auto e = est.evaluate(needs, set, 1);
+  EXPECT_DOUBLE_EQ(e.p_success, 1.0);  // W = 1: first slot is "now"
+  EXPECT_DOUBLE_EQ(e.e_time, 1.0);
+}
+
+TEST(Estimator, LargerWorkloadIsWorse) {
+  auto plat = make_platform(3, 3);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const int set[] = {0, 1, 2};
+  const Estimator::CommNeed needs[] = {{0, 2}, {1, 2}, {2, 2}};
+  const auto small = est.evaluate(needs, set, 3);
+  const auto large = est.evaluate(needs, set, 30);
+  EXPECT_GT(small.p_success, large.p_success);
+  EXPECT_LT(small.e_time, large.e_time);
+}
+
+TEST(Estimator, SetStatsMemoized) {
+  auto plat = make_platform(4, 2);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+  const int a[] = {0, 2};
+  const int b[] = {2, 0};  // same membership, different order
+  (void)est.set_stats(a);
+  const std::size_t after_first = est.cached_sets();
+  (void)est.set_stats(b);
+  EXPECT_EQ(est.cached_sets(), after_first);  // bitmask key: order-insensitive
+  const int c[] = {0, 1, 2};
+  (void)est.set_stats(c);
+  EXPECT_EQ(est.cached_sets(), after_first + 1);
+}
+
+TEST(Estimator, UnreliableProcessorLowersSuccess) {
+  // Same speeds; processor 1 has a much higher DOWN probability.
+  std::vector<platform::Processor> procs(2);
+  for (auto& pr : procs) {
+    pr.speed = 2;
+    pr.max_tasks = 4;
+  }
+  procs[0].availability = markov::TransitionMatrix::from_self_loops(0.98, 0.9, 0.9);
+  procs[1].availability = markov::TransitionMatrix::from_self_loops(0.80, 0.9, 0.9);
+  platform::Platform plat(std::move(procs), 2);
+  auto app = make_app();
+  Estimator est(plat, app, 1e-10);
+
+  const int reliable[] = {0};
+  const int flaky[] = {1};
+  EXPECT_GT(est.set_stats(reliable).success_prob(10),
+            est.set_stats(flaky).success_prob(10));
+}
+
+TEST(Estimator, PaperScenarioSmoke) {
+  platform::ScenarioParams params;
+  params.seed = 3;
+  auto scenario = platform::make_scenario(params);
+  Estimator est(scenario.platform, scenario.app, 1e-6);
+  std::vector<int> set;
+  std::vector<Estimator::CommNeed> needs;
+  for (int q = 0; q < 6; ++q) {
+    set.push_back(q);
+    needs.push_back({q, scenario.app.t_prog + scenario.app.t_data});
+  }
+  const auto e = est.evaluate(needs, set, 25);
+  EXPECT_GT(e.p_success, 0.0);
+  EXPECT_LT(e.p_success, 1.0);
+  EXPECT_GT(e.e_time, 25.0);
+  EXPECT_TRUE(std::isfinite(e.e_time));
+}
+
+}  // namespace
+}  // namespace tcgrid::sched

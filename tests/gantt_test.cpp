@@ -1,0 +1,64 @@
+// Tests of the ASCII Gantt renderer (Figure 1 style).
+#include <gtest/gtest.h>
+
+#include "sim/gantt.hpp"
+
+namespace tcgrid::sim {
+namespace {
+
+using markov::State;
+
+ActivityTrace tiny_trace() {
+  // 3 slots x 2 procs.
+  return {
+      {{State::Up, Action::Program}, {State::Down, Action::None}},
+      {{State::Up, Action::Compute}, {State::Reclaimed, Action::None}},
+      {{State::Up, Action::None}, {State::Up, Action::Idle}},
+  };
+}
+
+TEST(Gantt, RendersAllCellKinds) {
+  const std::string s = render_gantt(tiny_trace());
+  // Row P1: P C .   Row P2: # ~ I
+  EXPECT_NE(s.find("P1"), std::string::npos);
+  EXPECT_NE(s.find("P2"), std::string::npos);
+  EXPECT_NE(s.find("PC."), std::string::npos);
+  EXPECT_NE(s.find("#~I"), std::string::npos);
+}
+
+TEST(Gantt, EmptyTrace) {
+  EXPECT_EQ(render_gantt({}), "(empty trace)\n");
+}
+
+TEST(Gantt, RangeSelection) {
+  const std::string s = render_gantt(tiny_trace(), 1, 2);
+  // Only slot 1 rendered: P1 shows 'C', no 'P' action anywhere.
+  EXPECT_NE(s.find('C'), std::string::npos);
+  EXPECT_EQ(s.find("PC"), std::string::npos);
+}
+
+TEST(Gantt, RangeClamped) {
+  // Out-of-bounds ranges must not crash and clamp sanely.
+  const std::string all = render_gantt(tiny_trace(), -5, 100);
+  EXPECT_NE(all.find("PC."), std::string::npos);
+  const std::string none = render_gantt(tiny_trace(), 3, 2);
+  EXPECT_NE(none.find("P1"), std::string::npos);  // rows exist, no cells
+}
+
+TEST(Gantt, LegendMentionsEveryGlyph) {
+  const std::string l = gantt_legend();
+  for (const char* token : {"P=", "D=", "C=", "I=", "~", "#"}) {
+    EXPECT_NE(l.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(Gantt, TimeRulerPresent) {
+  // 12-slot trace: the tens ruler row must contain a '1'.
+  ActivityTrace t(12, {{State::Up, Action::None}});
+  const std::string s = render_gantt(t);
+  const auto first_newline = s.find('\n');
+  EXPECT_NE(s.substr(0, first_newline).find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcgrid::sim

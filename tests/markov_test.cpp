@@ -1,0 +1,376 @@
+// Unit + property tests for src/markov: transition matrices, chain sampling,
+// the UR sub-chain, and the Theorem 5.1 series (validated three ways:
+// closed-form truncation, renewal recursion, Monte-Carlo).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/chain.hpp"
+#include "markov/series.hpp"
+#include "markov/spectral.hpp"
+#include "markov/state.hpp"
+#include "markov/transition_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tcgrid::markov {
+namespace {
+
+// -------------------------------------------------------------- state ----
+
+TEST(State, CodesRoundTrip) {
+  for (State s : kAllStates) {
+    EXPECT_TRUE(is_state_code(code(s)));
+    EXPECT_EQ(state_from_code(code(s)), s);
+  }
+  EXPECT_FALSE(is_state_code('x'));
+}
+
+TEST(State, Names) {
+  EXPECT_EQ(to_string(State::Up), "UP");
+  EXPECT_EQ(to_string(State::Reclaimed), "RECLAIMED");
+  EXPECT_EQ(to_string(State::Down), "DOWN");
+}
+
+// -------------------------------------------------- transition matrix ----
+
+TEST(TransitionMatrix, DefaultStaysUp) {
+  TransitionMatrix m;
+  EXPECT_DOUBLE_EQ(m.prob(State::Up, State::Up), 1.0);
+  EXPECT_TRUE(m.failure_free());
+}
+
+TEST(TransitionMatrix, RejectsNonStochasticRows) {
+  EXPECT_THROW(TransitionMatrix({{{0.5, 0.2, 0.2}, {0, 1, 0}, {0, 0, 1}}}),
+               std::invalid_argument);
+  EXPECT_THROW(TransitionMatrix({{{1.2, -0.2, 0.0}, {0, 1, 0}, {0, 0, 1}}}),
+               std::invalid_argument);
+}
+
+TEST(TransitionMatrix, FromSelfLoopsSplitsEvenly) {
+  auto m = TransitionMatrix::from_self_loops(0.9, 0.92, 0.94);
+  EXPECT_DOUBLE_EQ(m.prob(State::Up, State::Up), 0.9);
+  EXPECT_DOUBLE_EQ(m.prob(State::Up, State::Reclaimed), 0.05);
+  EXPECT_DOUBLE_EQ(m.prob(State::Up, State::Down), 0.05);
+  EXPECT_DOUBLE_EQ(m.prob(State::Reclaimed, State::Reclaimed), 0.92);
+  EXPECT_DOUBLE_EQ(m.prob(State::Down, State::Down), 0.94);
+}
+
+TEST(TransitionMatrix, PaperRandomInRange) {
+  util::Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    auto m = TransitionMatrix::paper_random(rng);
+    for (State s : kAllStates) {
+      const double self = m.prob(s, s);
+      EXPECT_GE(self, 0.90);
+      EXPECT_LT(self, 0.99);
+      double row = 0.0;
+      for (State t : kAllStates) row += m.prob(s, t);
+      EXPECT_NEAR(row, 1.0, 1e-12);
+    }
+    EXPECT_FALSE(m.failure_free());
+  }
+}
+
+// Stationary distribution: pi * P == pi and sums to 1, for many random chains.
+class StationaryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StationaryTest, FixedPointProperty) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto m = TransitionMatrix::paper_random(rng);
+  const auto pi = m.stationary();
+  double sum = 0.0;
+  for (int j = 0; j < 3; ++j) {
+    double balance = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      balance += pi[static_cast<std::size_t>(i)] *
+                 m.prob(static_cast<State>(i), static_cast<State>(j));
+    }
+    EXPECT_NEAR(balance, pi[static_cast<std::size_t>(j)], 1e-10);
+    EXPECT_GE(pi[static_cast<std::size_t>(j)], 0.0);
+    sum += pi[static_cast<std::size_t>(j)];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, StationaryTest, ::testing::Range(0, 25));
+
+TEST(TransitionMatrix, StationaryMatchesEmpiricalFrequencies) {
+  util::Rng rng(99);
+  auto m = TransitionMatrix::paper_random(rng);
+  const auto pi = m.stationary();
+  // Long trajectory: empirical state frequencies approach pi.
+  util::Rng sampler(123);
+  auto traj = trajectory(m, State::Up, 200000, sampler);
+  std::array<double, 3> freq{};
+  for (State s : traj) freq[static_cast<std::size_t>(s)] += 1.0;
+  for (auto& f : freq) f /= static_cast<double>(traj.size());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(freq[i], pi[i], 0.02);
+}
+
+// -------------------------------------------------------------- chain ----
+
+TEST(Chain, StepMatchesRowDistribution) {
+  auto m = TransitionMatrix::from_self_loops(0.9, 0.95, 0.92);
+  util::Rng rng(5);
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(step(m, State::Up, rng))];
+  }
+  EXPECT_NEAR(counts[0] / double(n), 0.90, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.05, 0.005);
+  EXPECT_NEAR(counts[2] / double(n), 0.05, 0.005);
+}
+
+TEST(Chain, TrajectoryStartsAtInitialAndHasLength) {
+  auto m = TransitionMatrix::from_self_loops(0.9, 0.9, 0.9);
+  util::Rng rng(1);
+  auto t = trajectory(m, State::Reclaimed, 50, rng);
+  ASSERT_EQ(t.size(), 50u);
+  EXPECT_EQ(t.front(), State::Reclaimed);
+}
+
+TEST(Chain, TrajectoryDeterministicPerSeed) {
+  auto m = TransitionMatrix::from_self_loops(0.9, 0.9, 0.9);
+  util::Rng a(7), b(7);
+  EXPECT_EQ(trajectory(m, State::Up, 100, a), trajectory(m, State::Up, 100, b));
+}
+
+// ----------------------------------------------------------- spectral ----
+
+TEST(Spectral, UrSubmatrixExtraction) {
+  auto m = TransitionMatrix::from_self_loops(0.9, 0.92, 0.94);
+  auto ur = ur_submatrix(m);
+  EXPECT_DOUBLE_EQ(ur.uu, 0.9);
+  EXPECT_DOUBLE_EQ(ur.ur, 0.05);
+  EXPECT_DOUBLE_EQ(ur.ru, 0.04);
+  EXPECT_DOUBLE_EQ(ur.rr, 0.92);
+  EXPECT_FALSE(ur.failure_free());
+}
+
+TEST(Spectral, Lambda1OfDiagonalMatrix) {
+  UrMatrix m{0.8, 0.0, 0.0, 0.6};
+  EXPECT_DOUBLE_EQ(m.lambda1(), 0.8);
+}
+
+TEST(Spectral, Lambda1BoundsPuu) {
+  // g(t) = (M^t)[u][u] <= lambda1^t — the tail bound of Theorem 5.1.
+  util::Rng rng(13);
+  auto tm = TransitionMatrix::paper_random(rng);
+  auto m = ur_submatrix(tm);
+  const double l1 = m.lambda1();
+  for (std::size_t t = 1; t <= 50; ++t) {
+    EXPECT_LE(p_up_to_up(m, t), std::pow(l1, static_cast<double>(t)) + 1e-12);
+  }
+}
+
+TEST(Spectral, PuuNoReclaimIsGeometric) {
+  // With no RECLAIMED path, (M^t)[u][u] = uu^t exactly.
+  UrMatrix m{0.95, 0.0, 0.0, 0.0};
+  for (std::size_t t = 0; t <= 20; ++t) {
+    EXPECT_NEAR(p_up_to_up(m, t), std::pow(0.95, static_cast<double>(t)), 1e-12);
+  }
+}
+
+TEST(Spectral, SurvivalDecreasesMonotonically) {
+  util::Rng rng(17);
+  auto m = ur_submatrix(TransitionMatrix::paper_random(rng));
+  double prev = 1.0;
+  for (std::size_t t = 1; t <= 100; ++t) {
+    const double s = p_no_down(m, t);
+    EXPECT_LE(s, prev + 1e-15);
+    prev = s;
+  }
+}
+
+TEST(Spectral, StochasticUrIsFailureFree) {
+  UrMatrix m{0.9, 0.1, 0.2, 0.8};
+  EXPECT_TRUE(m.failure_free());
+  EXPECT_NEAR(m.lambda1(), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------- series ----
+
+TEST(Series, SingleProcessorNoReclaimAnalytic) {
+  // puu(t) = s^t: Eu = s/(1-s), A = s/(1-s)^2, P+ = s, Ec = s.
+  const double s = 0.9;
+  UrMatrix m{s, 0.0, 0.0, 0.0};
+  auto sums = up_series({&m, 1}, 1e-12);
+  EXPECT_TRUE(sums.converged);
+  EXPECT_NEAR(sums.eu, s / (1 - s), 1e-9);
+  EXPECT_NEAR(sums.a, s / ((1 - s) * (1 - s)), 1e-7);
+
+  auto st = coupled_stats({&m, 1}, 1e-12);
+  EXPECT_NEAR(st.p_plus, s, 1e-9);
+  EXPECT_NEAR(st.ec, s, 1e-7);
+}
+
+TEST(Series, PPlusIdentityAgainstRenewal) {
+  // Closed form P+ = Eu/(1+Eu) must match the renewal deconvolution.
+  util::Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<UrMatrix> set;
+    const int k = 1 + trial % 4;
+    for (int i = 0; i < k; ++i) {
+      set.push_back(ur_submatrix(TransitionMatrix::paper_random(rng)));
+    }
+    auto st = coupled_stats(set, 1e-12);
+    auto rn = renewal_first_return(set, 4000);
+    EXPECT_NEAR(st.p_plus, rn.p_plus, 1e-6) << "set size " << k;
+    EXPECT_NEAR(st.ec, rn.ec_uncond, 1e-4) << "set size " << k;
+  }
+}
+
+TEST(Series, PPlusAgainstMonteCarlo) {
+  util::Rng rng(29);
+  auto tm = TransitionMatrix::paper_random(rng);
+  auto m = ur_submatrix(tm);
+  auto st = coupled_stats({&m, 1}, 1e-10);
+
+  // Monte-Carlo estimate of P+: from UP, will the chain be UP again before
+  // hitting DOWN?
+  util::Rng sampler(31);
+  const int n = 200000;
+  int success = 0;
+  for (int i = 0; i < n; ++i) {
+    State cur = State::Up;
+    for (;;) {
+      cur = step(tm, cur, sampler);
+      if (cur == State::Up) {
+        ++success;
+        break;
+      }
+      if (cur == State::Down) break;
+    }
+  }
+  EXPECT_NEAR(st.p_plus, success / double(n), 0.005);
+}
+
+TEST(Series, FailureFreeSetHasPPlusOne) {
+  // No DOWN transitions: P+ = 1 and Ec equals the mean first-return time.
+  UrMatrix m{0.9, 0.1, 0.2, 0.8};
+  auto st = coupled_stats({&m, 1}, 1e-10);
+  EXPECT_TRUE(st.failure_free);
+  EXPECT_DOUBLE_EQ(st.p_plus, 1.0);
+  EXPECT_GT(st.ec, 1.0);  // sometimes reclaimed, so strictly > 1
+  // Analytic check: f(1) = 0.9; return via k >= 1 reclaimed slots:
+  // f(k+1) = 0.1 * 0.8^(k-1) * 0.2 -> Ec = sum t f(t).
+  double expect = 0.9;
+  for (int k = 1; k <= 2000; ++k) {
+    expect += (k + 1) * 0.1 * std::pow(0.8, k - 1) * 0.2;
+  }
+  EXPECT_NEAR(st.ec, expect, 1e-6);
+}
+
+TEST(Series, EmptySetIsTrivial) {
+  auto st = coupled_stats({}, 1e-10);
+  EXPECT_DOUBLE_EQ(st.p_plus, 1.0);
+  EXPECT_DOUBLE_EQ(st.expected_time(5), 1.0 + 4.0 * st.ec);
+}
+
+TEST(Series, ExpectedTimeBasics) {
+  util::Rng rng(37);
+  auto m = ur_submatrix(TransitionMatrix::paper_random(rng));
+  auto st = coupled_stats({&m, 1}, 1e-10);
+  EXPECT_DOUBLE_EQ(st.expected_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(st.expected_time(1), 1.0);
+  // Monotone increasing in W.
+  double prev = 0.0;
+  for (long w = 1; w <= 50; ++w) {
+    const double e = st.expected_time(w);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+  // success_prob decreasing in W.
+  EXPECT_DOUBLE_EQ(st.success_prob(1), 1.0);
+  EXPECT_GT(st.success_prob(2), st.success_prob(10));
+}
+
+TEST(Series, MoreProcessorsLowerPPlus) {
+  // Adding a processor can only make "all UP again before any DOWN" harder.
+  util::Rng rng(41);
+  std::vector<UrMatrix> set{ur_submatrix(TransitionMatrix::paper_random(rng))};
+  double prev = coupled_stats(set, 1e-10).p_plus;
+  for (int i = 0; i < 5; ++i) {
+    set.push_back(ur_submatrix(TransitionMatrix::paper_random(rng)));
+    const double p = coupled_stats(set, 1e-10).p_plus;
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(Series, TruncationRespectsEpsilon) {
+  // Tighter eps can only add (nonnegative) terms.
+  util::Rng rng(43);
+  std::vector<UrMatrix> set;
+  for (int i = 0; i < 3; ++i) {
+    set.push_back(ur_submatrix(TransitionMatrix::paper_random(rng)));
+  }
+  auto coarse = up_series(set, 1e-3);
+  auto fine = up_series(set, 1e-12);
+  EXPECT_LE(coarse.eu, fine.eu + 1e-15);
+  EXPECT_LE(fine.eu - coarse.eu, 1e-3 + 1e-12);
+  EXPECT_LE(fine.a - coarse.a, 1e-3 + 1e-9);
+  EXPECT_GE(fine.terms, coarse.terms);
+}
+
+// Parameterized cross-validation: closed-form vs renewal recursion on many
+// random sets (the executable content of Theorem 5.1's "arbitrary epsilon").
+class SeriesCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeriesCrossCheck, ClosedFormMatchesRenewal) {
+  util::Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  std::vector<UrMatrix> set;
+  const int k = 1 + GetParam() % 6;
+  for (int i = 0; i < k; ++i) {
+    set.push_back(ur_submatrix(TransitionMatrix::paper_random(rng)));
+  }
+  auto st = coupled_stats(set, 1e-12);
+  auto rn = renewal_first_return(set, 3000);
+  EXPECT_NEAR(st.p_plus, rn.p_plus, 1e-5);
+  EXPECT_NEAR(st.ec, rn.ec_uncond, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, SeriesCrossCheck, ::testing::Range(0, 20));
+
+TEST(Series, MonteCarloExpectedTimeSingleProc) {
+  // E(W) approximation vs simulated conditional completion time: they should
+  // land in the same ballpark (the paper's formula is an approximation, so
+  // we allow generous tolerance; see DESIGN.md).
+  auto tm = TransitionMatrix::from_self_loops(0.95, 0.9, 0.9);
+  auto m = ur_submatrix(tm);
+  auto st = coupled_stats({&m, 1}, 1e-10);
+  const long w = 10;
+
+  util::Rng sampler(47);
+  double total = 0.0;
+  int successes = 0;
+  for (int i = 0; i < 50000; ++i) {
+    State cur = State::Up;
+    long done = 1, slots = 1;
+    bool failed = false;
+    while (done < w) {
+      cur = step(tm, cur, sampler);
+      ++slots;
+      if (cur == State::Down) {
+        failed = true;
+        break;
+      }
+      if (cur == State::Up) ++done;
+    }
+    if (!failed) {
+      total += static_cast<double>(slots);
+      ++successes;
+    }
+  }
+  ASSERT_GT(successes, 0);
+  const double mc = total / successes;
+  const double approx = st.expected_time(w);
+  // Paper's approximation overestimates (divides by P+^{W-1}); require the
+  // right order of magnitude and the correct side.
+  EXPECT_GE(approx, mc * 0.9);
+  EXPECT_LE(approx, mc * 3.0);
+}
+
+}  // namespace
+}  // namespace tcgrid::markov

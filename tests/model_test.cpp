@@ -1,0 +1,104 @@
+// Unit tests for src/model: application, configuration, holdings.
+#include <gtest/gtest.h>
+
+#include "model/application.hpp"
+#include "model/configuration.hpp"
+#include "model/holdings.hpp"
+
+namespace tcgrid::model {
+namespace {
+
+TEST(Application, ValidateAcceptsPaperDefaults) {
+  Application app;
+  app.num_tasks = 5;
+  app.t_prog = 10;
+  app.t_data = 2;
+  app.iterations = 10;
+  EXPECT_NO_THROW(app.validate());
+}
+
+TEST(Application, ValidateRejectsBadValues) {
+  Application app;
+  app.num_tasks = 0;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+  app.num_tasks = 1;
+  app.t_data = -1;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+  app.t_data = 0;
+  app.iterations = 0;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(Configuration, EmptyByDefault) {
+  Configuration c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.total_tasks(), 0);
+  EXPECT_EQ(c.tasks_on(3), 0);
+  EXPECT_FALSE(c.enrolled(3));
+}
+
+TEST(Configuration, AddTaskEnrollsAndAccumulates) {
+  Configuration c;
+  c.add_task(2);
+  c.add_task(2);
+  c.add_task(5);
+  EXPECT_EQ(c.total_tasks(), 3);
+  EXPECT_EQ(c.tasks_on(2), 2);
+  EXPECT_EQ(c.tasks_on(5), 1);
+  EXPECT_TRUE(c.enrolled(2));
+  EXPECT_EQ(c.size(), 2u);
+  // Enrollment order preserved: first-enrolled first.
+  EXPECT_EQ(c.assignments()[0].proc, 2);
+  EXPECT_EQ(c.assignments()[1].proc, 5);
+}
+
+TEST(Configuration, ComputeSlotsIsMaxLoad) {
+  // Paper's Figure 1: x = (2,2,1) on speeds (2,3,4) -> W = max(4,6,4) = 6.
+  Configuration c({{1, 2}, {2, 2}, {3, 1}});
+  const long speeds[] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(c.compute_slots(speeds), 6);
+}
+
+TEST(Configuration, EqualityIsOrderSensitive) {
+  Configuration a({{1, 2}, {2, 1}});
+  Configuration b({{1, 2}, {2, 1}});
+  Configuration c({{2, 1}, {1, 2}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);  // enrollment order is semantically meaningful
+}
+
+TEST(Holdings, CrashLosesEverything) {
+  Holdings h;
+  h.has_program = true;
+  h.data_messages = 3;
+  h.partial_slots = 2;
+  h.crash();
+  EXPECT_FALSE(h.has_program);
+  EXPECT_EQ(h.data_messages, 0);
+  EXPECT_EQ(h.partial_slots, 0);
+}
+
+TEST(Holdings, UnenrollOnlyLosesPartial) {
+  Holdings h;
+  h.has_program = true;
+  h.data_messages = 3;
+  h.partial_slots = 2;
+  h.unenroll();
+  EXPECT_TRUE(h.has_program);
+  EXPECT_EQ(h.data_messages, 3);
+  EXPECT_EQ(h.partial_slots, 0);
+}
+
+TEST(Holdings, NextIterationKeepsProgramOnly) {
+  Holdings h;
+  h.has_program = true;
+  h.data_messages = 3;
+  h.partial_slots = 2;
+  h.next_iteration();
+  EXPECT_TRUE(h.has_program);
+  EXPECT_EQ(h.data_messages, 0);
+  EXPECT_EQ(h.partial_slots, 0);
+}
+
+}  // namespace
+}  // namespace tcgrid::model

@@ -1,0 +1,237 @@
+// Tests of the off-line module (§IV): bitset machinery, the exact bi-clique
+// solver, the mu = 1 / mu = inf decision procedures, and — the executable
+// content of Theorem 4.1 — equivalence of the ENCD reductions against a
+// brute-force ENCD oracle on random graphs.
+#include <gtest/gtest.h>
+
+#include "offline/encd.hpp"
+#include "offline/exact_solver.hpp"
+#include "offline/instance.hpp"
+#include "util/rng.hpp"
+
+namespace tcgrid::offline {
+namespace {
+
+// -------------------------------------------------------------- SlotSet ----
+
+TEST(SlotSet, SetTestCount) {
+  SlotSet s(130);
+  EXPECT_EQ(s.count(), 0u);
+  s.set(0);
+  s.set(64);
+  s.set(129);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_TRUE(s.test(129));
+  EXPECT_FALSE(s.test(1));
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.indices(), (std::vector<int>{0, 64, 129}));
+}
+
+TEST(SlotSet, Intersect) {
+  SlotSet a(70), b(70);
+  a.set(3);
+  a.set(65);
+  a.set(69);
+  b.set(65);
+  b.set(69);
+  b.set(1);
+  a.intersect(b);
+  EXPECT_EQ(a.indices(), (std::vector<int>{65, 69}));
+}
+
+// ------------------------------------------------------------- biclique ----
+
+OfflineInstance diagonal_instance() {
+  // 4 procs x 6 slots; procs 0-2 share slots {0,1,2}; proc 3 only slot 5.
+  OfflineInstance inst(4, 6);
+  for (int q = 0; q < 3; ++q) {
+    for (int t = 0; t < 3; ++t) inst.set_up(q, t);
+  }
+  inst.set_up(0, 4);
+  inst.set_up(3, 5);
+  return inst;
+}
+
+TEST(Biclique, FindsKnownSubmatrix) {
+  auto inst = diagonal_instance();
+  auto r = find_biclique(inst, 3, 3);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.procs, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(r.slots.size(), 3u);
+  for (int q : r.procs) {
+    for (int t : r.slots) EXPECT_TRUE(inst.up(q, t));
+  }
+}
+
+TEST(Biclique, RejectsInfeasible) {
+  auto inst = diagonal_instance();
+  EXPECT_FALSE(find_biclique(inst, 4, 1).found);  // proc 3 shares nothing
+  EXPECT_FALSE(find_biclique(inst, 3, 4).found);
+  EXPECT_FALSE(find_biclique(inst, 5, 1).found);  // a > p
+  EXPECT_FALSE(find_biclique(inst, 1, 7).found);  // b > N
+  EXPECT_FALSE(find_biclique(inst, 0, 1).found);  // degenerate
+}
+
+TEST(Biclique, CertificateIsAlwaysValid) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    OfflineInstance inst(8, 12);
+    for (int q = 0; q < 8; ++q) {
+      for (int t = 0; t < 12; ++t) {
+        if (rng.uniform01() < 0.6) inst.set_up(q, t);
+      }
+    }
+    auto r = find_biclique(inst, 3, 4);
+    if (!r.found) continue;
+    EXPECT_EQ(r.procs.size(), 3u);
+    EXPECT_EQ(r.slots.size(), 4u);
+    for (int q : r.procs) {
+      for (int t : r.slots) EXPECT_TRUE(inst.up(q, t));
+    }
+  }
+}
+
+// --------------------------------------------------------- exact solver ----
+
+TEST(ExactSolver, Mu1MatchesBiclique) {
+  auto inst = diagonal_instance();
+  EXPECT_TRUE(solve_mu1(inst, 3, 3).found);
+  EXPECT_FALSE(solve_mu1(inst, 3, 4).found);
+}
+
+TEST(ExactSolver, MuInfStacksTasks) {
+  // 2 procs UP during 6 common slots. m = 4 tasks, w = 3: infeasible with one
+  // task per worker (needs 4 procs), feasible with j = 2 (2 procs, 6 slots).
+  OfflineInstance inst(2, 6);
+  for (int q = 0; q < 2; ++q) {
+    for (int t = 0; t < 6; ++t) inst.set_up(q, t);
+  }
+  EXPECT_FALSE(solve_mu1(inst, 4, 3).found);
+  auto r = solve_muinf(inst, 4, 3);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.tasks_per_worker, 2);
+  EXPECT_EQ(r.certificate.procs.size(), 2u);
+  EXPECT_EQ(r.certificate.slots.size(), 6u);
+}
+
+TEST(ExactSolver, MuInfAtLeastAsPermissiveAsMu1) {
+  util::Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    OfflineInstance inst(6, 10);
+    for (int q = 0; q < 6; ++q) {
+      for (int t = 0; t < 10; ++t) {
+        if (rng.uniform01() < 0.5) inst.set_up(q, t);
+      }
+    }
+    for (int m = 1; m <= 4; ++m) {
+      for (int w = 1; w <= 4; ++w) {
+        if (solve_mu1(inst, m, w).found) {
+          EXPECT_TRUE(solve_muinf(inst, m, w).found) << "m=" << m << " w=" << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExactSolver, MaxCoupledSlotsBinarySearch) {
+  auto inst = diagonal_instance();
+  EXPECT_EQ(max_coupled_slots(inst, 3), 3);
+  EXPECT_EQ(max_coupled_slots(inst, 1), 4);  // proc 0 alone: slots {0,1,2,4}
+  EXPECT_EQ(max_coupled_slots(inst, 4), 0);
+}
+
+TEST(ExactSolver, MaxCoupledSlotsMonotoneInM) {
+  util::Rng rng(41);
+  OfflineInstance inst(8, 16);
+  for (int q = 0; q < 8; ++q) {
+    for (int t = 0; t < 16; ++t) {
+      if (rng.uniform01() < 0.7) inst.set_up(q, t);
+    }
+  }
+  int prev = max_coupled_slots(inst, 1);
+  for (int m = 2; m <= 8; ++m) {
+    const int cur = max_coupled_slots(inst, m);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+// ----------------------------------------------------------------- ENCD ----
+
+TEST(Encd, BruteForceOnKnownGraph) {
+  // Complete bipartite K_{2,3} plus an isolated left vertex.
+  BipartiteGraph g(3, 3);
+  for (int v = 0; v < 2; ++v) {
+    for (int w = 0; w < 3; ++w) g.add_edge(v, w);
+  }
+  EXPECT_TRUE(encd_brute_force(g, 2, 3));
+  EXPECT_TRUE(encd_brute_force(g, 1, 3));
+  EXPECT_FALSE(encd_brute_force(g, 3, 1));  // vertex 2 has no edges
+  EXPECT_FALSE(encd_brute_force(g, 2, 4));  // b > |W|
+}
+
+TEST(Encd, TimelineShapesOfReductions) {
+  BipartiteGraph g(4, 5);
+  auto mu1 = encd_to_offline_mu1(g);
+  EXPECT_EQ(mu1.procs(), 4);
+  EXPECT_EQ(mu1.slots(), 5);
+  auto muinf = encd_to_offline_muinf(g);
+  EXPECT_EQ(muinf.procs(), 4);
+  EXPECT_EQ(muinf.slots(), 2 * 5 + 1);
+  // The appended slots are all-UP for every processor.
+  for (int q = 0; q < 4; ++q) {
+    for (int t = 5; t < muinf.slots(); ++t) EXPECT_TRUE(muinf.up(q, t));
+  }
+}
+
+// Theorem 4.1, executable: on random graphs, the ENCD oracle agrees with the
+// reduced OFFLINE-COUPLED instances, for both reductions.
+class EncdEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncdEquivalence, Mu1ReductionAgreesWithOracle) {
+  util::Rng rng(static_cast<std::uint64_t>(500 + GetParam()));
+  const auto g = BipartiteGraph::random(6, 6, 0.55, rng);
+  const auto inst = encd_to_offline_mu1(g);
+  for (int a = 1; a <= 4; ++a) {
+    for (int b = 1; b <= 4; ++b) {
+      EXPECT_EQ(encd_brute_force(g, a, b), solve_mu1(inst, a, b).found)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(EncdEquivalence, MuInfReductionAgreesWithOracle) {
+  util::Rng rng(static_cast<std::uint64_t>(900 + GetParam()));
+  const auto g = BipartiteGraph::random(5, 5, 0.55, rng);
+  const auto inst = encd_to_offline_muinf(g);
+  // Theorem 4.1 (ii): ENCD(a, b) iff OFFLINE-COUPLED(mu=inf) with m = a and
+  // w = b + |W| + 1 on the extended instance.
+  for (int a = 1; a <= 3; ++a) {
+    for (int b = 1; b <= 3; ++b) {
+      const int w = b + g.right() + 1;
+      EXPECT_EQ(encd_brute_force(g, a, b), solve_muinf(inst, a, w).found)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, EncdEquivalence, ::testing::Range(0, 15));
+
+TEST(OfflineInstance, FromTimeline) {
+  using markov::State;
+  std::vector<std::vector<State>> timeline{
+      {State::Up, State::Down},
+      {State::Reclaimed, State::Up},
+  };
+  auto inst = OfflineInstance::from_timeline(timeline);
+  EXPECT_EQ(inst.procs(), 2);
+  EXPECT_EQ(inst.slots(), 2);
+  EXPECT_TRUE(inst.up(0, 0));
+  EXPECT_FALSE(inst.up(1, 0));
+  EXPECT_FALSE(inst.up(0, 1));  // RECLAIMED is not UP
+  EXPECT_TRUE(inst.up(1, 1));
+}
+
+}  // namespace
+}  // namespace tcgrid::offline

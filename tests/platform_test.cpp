@@ -1,0 +1,257 @@
+// Unit tests for src/platform: platform construction, the paper's scenario
+// generator, availability sources, trace I/O, and the semi-Markov extension.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "platform/availability.hpp"
+#include "platform/platform.hpp"
+#include "platform/scenario.hpp"
+#include "platform/semi_markov.hpp"
+#include "platform/trace_io.hpp"
+
+namespace tcgrid::platform {
+namespace {
+
+Platform tiny_platform(int p = 3, int ncom = 2) {
+  std::vector<Processor> procs;
+  for (int q = 0; q < p; ++q) {
+    Processor pr;
+    pr.speed = q + 1;
+    pr.max_tasks = 4;
+    pr.availability = markov::TransitionMatrix::from_self_loops(0.95, 0.9, 0.9);
+    procs.push_back(pr);
+  }
+  return Platform(std::move(procs), ncom);
+}
+
+// ----------------------------------------------------------- platform ----
+
+TEST(Platform, AssignsIdsAndExposesSpeeds) {
+  auto plat = tiny_platform(4);
+  EXPECT_EQ(plat.size(), 4);
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(plat.proc(q).id, q);
+    EXPECT_EQ(plat.speeds()[static_cast<std::size_t>(q)], q + 1);
+  }
+}
+
+TEST(Platform, RejectsBadNcomAndProcessors) {
+  std::vector<Processor> procs(1);
+  procs[0].speed = 1;
+  procs[0].max_tasks = 1;
+  EXPECT_THROW(Platform(std::vector<Processor>(procs), 0), std::invalid_argument);
+  procs[0].speed = 0;
+  EXPECT_THROW(Platform(std::move(procs), 1), std::invalid_argument);
+}
+
+TEST(Platform, CapacitySums) {
+  auto plat = tiny_platform(3);
+  const int ids[] = {0, 2};
+  EXPECT_EQ(plat.capacity(ids), 8);
+}
+
+// ----------------------------------------------------------- scenario ----
+
+TEST(Scenario, PaperParameterization) {
+  ScenarioParams params;
+  params.m = 10;
+  params.ncom = 10;
+  params.wmin = 4;
+  params.seed = 5;
+  auto s = make_scenario(params);
+  EXPECT_EQ(s.platform.size(), 20);
+  EXPECT_EQ(s.platform.ncom(), 10);
+  EXPECT_EQ(s.app.num_tasks, 10);
+  EXPECT_EQ(s.app.t_data, 4);
+  EXPECT_EQ(s.app.t_prog, 20);
+  EXPECT_EQ(s.app.iterations, 10);
+  for (const auto& pr : s.platform.procs()) {
+    EXPECT_GE(pr.speed, 4);
+    EXPECT_LE(pr.speed, 40);
+    EXPECT_EQ(pr.max_tasks, 10);
+    for (auto st : markov::kAllStates) {
+      EXPECT_GE(pr.availability.prob(st, st), 0.90);
+      EXPECT_LT(pr.availability.prob(st, st), 0.99);
+    }
+  }
+}
+
+TEST(Scenario, DeterministicInSeed) {
+  ScenarioParams params;
+  params.seed = 77;
+  auto a = make_scenario(params);
+  auto b = make_scenario(params);
+  for (int q = 0; q < a.platform.size(); ++q) {
+    EXPECT_EQ(a.platform.proc(q).speed, b.platform.proc(q).speed);
+  }
+  params.seed = 78;
+  auto c = make_scenario(params);
+  bool any_diff = false;
+  for (int q = 0; q < a.platform.size(); ++q) {
+    if (a.platform.proc(q).speed != c.platform.proc(q).speed) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, RejectsInvalidParams) {
+  ScenarioParams params;
+  params.m = 0;
+  EXPECT_THROW(make_scenario(params), std::invalid_argument);
+}
+
+// ------------------------------------------------------- availability ----
+
+TEST(MarkovAvailability, DeterministicPerSeed) {
+  auto plat = tiny_platform();
+  MarkovAvailability a(plat, 9), b(plat, 9);
+  for (int t = 0; t < 200; ++t) {
+    for (int q = 0; q < plat.size(); ++q) EXPECT_EQ(a.state(q), b.state(q));
+    a.advance();
+    b.advance();
+  }
+}
+
+TEST(MarkovAvailability, DifferentSeedsDiverge) {
+  auto plat = tiny_platform();
+  MarkovAvailability a(plat, 1), b(plat, 2);
+  int diffs = 0;
+  for (int t = 0; t < 200; ++t) {
+    for (int q = 0; q < plat.size(); ++q) {
+      if (a.state(q) != b.state(q)) ++diffs;
+    }
+    a.advance();
+    b.advance();
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(MarkovAvailability, AllUpModeStartsUp) {
+  auto plat = tiny_platform();
+  MarkovAvailability a(plat, 3, InitialStates::AllUp);
+  for (int q = 0; q < plat.size(); ++q) EXPECT_EQ(a.state(q), markov::State::Up);
+}
+
+TEST(MarkovAvailability, StationaryInitIsDeterministic) {
+  auto plat = tiny_platform();
+  MarkovAvailability a(plat, 3), b(plat, 3);
+  for (int q = 0; q < plat.size(); ++q) EXPECT_EQ(a.state(q), b.state(q));
+}
+
+TEST(FixedAvailability, FollowsScriptThenAllUp) {
+  using markov::State;
+  FixedAvailability fixed({{State::Down, State::Up},
+                           {State::Reclaimed, State::Down}});
+  EXPECT_EQ(fixed.state(0), State::Down);
+  EXPECT_EQ(fixed.state(1), State::Up);
+  fixed.advance();
+  EXPECT_EQ(fixed.state(0), State::Reclaimed);
+  EXPECT_EQ(fixed.state(1), State::Down);
+  fixed.advance();  // beyond horizon
+  EXPECT_EQ(fixed.state(0), State::Up);
+  EXPECT_EQ(fixed.state(1), State::Up);
+}
+
+TEST(FixedAvailability, RejectsEmptyOrRagged) {
+  EXPECT_THROW(FixedAvailability({}), std::invalid_argument);
+  EXPECT_THROW(FixedAvailability({{markov::State::Up}, {}}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- trace io ----
+
+TEST(TraceIo, RoundTrip) {
+  using markov::State;
+  StateTimeline t{{State::Up, State::Reclaimed}, {State::Down, State::Up}};
+  std::ostringstream out;
+  write_trace(out, t);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_trace(in), t);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlank) {
+  std::istringstream in("# header\n\nud\nru\n");
+  auto t = read_trace(in);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0][0], markov::State::Up);
+  EXPECT_EQ(t[1][0], markov::State::Reclaimed);
+}
+
+TEST(TraceIo, RejectsBadCharactersAndRagged) {
+  std::istringstream bad("ux\n");
+  EXPECT_THROW(read_trace(bad), std::runtime_error);
+  std::istringstream ragged("uu\nu\n");
+  EXPECT_THROW(read_trace(ragged), std::runtime_error);
+}
+
+TEST(TraceIo, FitRecoversTransitionMatrix) {
+  // Sample a long trajectory from a known chain; the MLE fit converges.
+  auto truth = markov::TransitionMatrix::from_self_loops(0.95, 0.9, 0.92);
+  std::vector<Processor> procs(1);
+  procs[0].speed = 1;
+  procs[0].max_tasks = 1;
+  procs[0].availability = truth;
+  Platform plat(std::move(procs), 1);
+
+  MarkovAvailability source(plat, 21);
+  auto timeline = record(source, 200000);
+  auto fit = fit_transition_matrix(timeline, 0);
+  for (auto from : markov::kAllStates) {
+    for (auto to : markov::kAllStates) {
+      EXPECT_NEAR(fit.prob(from, to), truth.prob(from, to), 0.02);
+    }
+  }
+}
+
+TEST(TraceIo, FitHandlesUnseenState) {
+  using markov::State;
+  StateTimeline t{{State::Up}, {State::Up}, {State::Up}};
+  auto fit = fit_transition_matrix(t, 0);
+  EXPECT_DOUBLE_EQ(fit.prob(State::Up, State::Up), 1.0);
+  EXPECT_DOUBLE_EQ(fit.prob(State::Down, State::Down), 1.0);  // inert row
+}
+
+// -------------------------------------------------------- semi-markov ----
+
+TEST(SemiMarkov, HoldsStatesForSampledSojourns) {
+  SemiMarkovParams params;
+  params.scale = {50.0, 20.0, 20.0};
+  SemiMarkovAvailability source({params}, 5);
+  // Over a long window we should see all three states and multi-slot runs.
+  int transitions = 0;
+  markov::State prev = source.state(0);
+  bool seen[3] = {false, false, false};
+  for (int t = 0; t < 5000; ++t) {
+    source.advance();
+    const auto s = source.state(0);
+    seen[static_cast<int>(s)] = true;
+    if (s != prev) ++transitions;
+    prev = s;
+  }
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_GT(transitions, 10);
+  // Far fewer transitions than slots: sojourns really hold.
+  EXPECT_LT(transitions, 2500);
+}
+
+TEST(SemiMarkov, DeterministicPerSeed) {
+  SemiMarkovParams params;
+  SemiMarkovAvailability a({params}, 11), b({params}, 11);
+  for (int t = 0; t < 500; ++t) {
+    EXPECT_EQ(a.state(0), b.state(0));
+    a.advance();
+    b.advance();
+  }
+}
+
+TEST(SemiMarkov, RecordShapes) {
+  SemiMarkovParams params;
+  SemiMarkovAvailability source({params, params}, 13);
+  auto timeline = record(source, 100);
+  ASSERT_EQ(timeline.size(), 100u);
+  EXPECT_EQ(timeline.front().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tcgrid::platform

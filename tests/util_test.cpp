@@ -1,0 +1,215 @@
+// Unit tests for src/util: rng, cli, table, csv, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tcgrid {
+namespace {
+
+// ---------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SpawnStreamsAreDecorrelatedAndDeterministic) {
+  util::Rng parent(7);
+  util::Rng c1 = parent.spawn(1);
+  util::Rng c2 = parent.spawn(2);
+  util::Rng c1_again = util::Rng(7).spawn(1);
+  EXPECT_DOUBLE_EQ(c1.uniform01(), c1_again.uniform01());
+  // distinct streams: first values should not coincide
+  EXPECT_NE(util::Rng(7).spawn(1).uniform01(), util::Rng(7).spawn(2).uniform01());
+  (void)c2;
+}
+
+TEST(Rng, UniformRangeRespected) {
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0.90, 0.99);
+    EXPECT_GE(v, 0.90);
+    EXPECT_LT(v, 0.99);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  util::Rng rng(4);
+  std::set<long> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const long v = rng.uniform_int(2, 20);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 20);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 19u);  // all values hit over 2000 draws
+}
+
+TEST(Rng, IndexCoversRange) {
+  util::Rng rng(5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  for (std::size_t v : seen) EXPECT_LT(v, 7u);
+}
+
+TEST(Rng, DeriveSeedIsInjectiveish) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    for (std::uint64_t st = 0; st < 100; ++st) {
+      seeds.insert(util::derive_seed(s, st));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 10000u);  // no collisions in a small grid
+}
+
+TEST(Rng, WeibullPositive) {
+  util::Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(rng.weibull(0.7, 10.0), 0.0);
+}
+
+// ---------------------------------------------------------------- cli ----
+
+TEST(Cli, ParsesSeparateValueForm) {
+  const char* argv[] = {"prog", "--m", "10", "--name", "Y-IE"};
+  util::Cli cli(5, argv);
+  EXPECT_EQ(cli.get_long("m", 0), 10);
+  EXPECT_EQ(cli.get("name", ""), "Y-IE");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--wmin=3", "--eps=0.5"};
+  util::Cli cli(3, argv);
+  EXPECT_EQ(cli.get_long("wmin", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.0), 0.5);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--full"};
+  util::Cli cli(2, argv);
+  EXPECT_TRUE(cli.get_bool("full"));
+  EXPECT_FALSE(cli.get_bool("other"));
+}
+
+TEST(Cli, FlagFollowedByFlagHasEmptyValue) {
+  const char* argv[] = {"prog", "--a", "--b", "1"};
+  util::Cli cli(4, argv);
+  EXPECT_TRUE(cli.has("a"));
+  EXPECT_EQ(cli.value("a").value(), "");
+  EXPECT_EQ(cli.get_long("b", 0), 1);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "input.txt", "--k", "2", "more"};
+  util::Cli cli(5, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(Cli, FallbacksUsedWhenAbsent) {
+  const char* argv[] = {"prog"};
+  util::Cli cli(1, argv);
+  EXPECT_EQ(cli.get("x", "def"), "def");
+  EXPECT_EQ(cli.get_long("x", 9), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+}
+
+TEST(Cli, BoolValueForms) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  util::Cli cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("a"));
+  EXPECT_FALSE(cli.get_bool("b"));
+  EXPECT_TRUE(cli.get_bool("c"));
+  EXPECT_FALSE(cli.get_bool("d"));
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, AlignsAndRenders) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "-23.50"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-23.50"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(util::Table::num(1.23456), "1.23");
+  EXPECT_EQ(util::Table::num(-1.0, 1), "-1.0");
+  EXPECT_EQ(util::Table::num(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- csv ----
+
+TEST(Csv, WritesHeaderAndRows) {
+  util::CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(util::CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(util::CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(util::CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  util::CsvWriter csv({"a"});
+  EXPECT_THROW(csv.add_row({"1", "2"}), std::invalid_argument);
+}
+
+// -------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsAllTasks) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  util::parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SequentialWhenOneThread) {
+  std::vector<int> order;
+  util::parallel_for(10, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ParallelFor, HandlesZeroItems) {
+  bool ran = false;
+  util::parallel_for(0, [&](std::size_t) { ran = true; }, 4);
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace tcgrid
