@@ -8,11 +8,11 @@
 #include <iostream>
 #include <vector>
 
+#include "api/api.hpp"
 #include "platform/availability.hpp"
 #include "platform/scenario.hpp"
 #include "sched/heuristics.hpp"
 #include "sched/registry.hpp"
-#include "sim/engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -66,18 +66,17 @@ int main(int argc, char** argv) {
           std::pair{"most-remaining-first", sim::CommOrder::MostFirst}}) {
       double sums[2] = {0.0, 0.0};
       int counts[2] = {0, 0};
+      api::Options options;
+      options.slot_cap = cap;
+      options.comm_order = order;
       for (const auto& spec : specs) {
         sched::Estimator est(spec.scenario.platform, spec.scenario.app, 1e-6);
         const char* names[2] = {"IE", "Y-IE"};
         for (int h = 0; h < 2; ++h) {
           auto sched = sched::make_scheduler(names[h], est);
           platform::MarkovAvailability avail(spec.scenario.platform, spec.avail_seed);
-          sim::EngineOptions opts;
-          opts.slot_cap = cap;
-          opts.comm_order = order;
-          sim::Engine engine(spec.scenario.platform, spec.scenario.app, avail,
-                             *sched, opts);
-          const auto r = engine.run();
+          const auto r = api::Session::run_custom(options, spec.scenario.platform,
+                                                  spec.scenario.app, avail, *sched);
           if (r.success) {
             sums[h] += static_cast<double>(r.makespan);
             ++counts[h];
@@ -99,15 +98,14 @@ int main(int argc, char** argv) {
       double sum = 0.0;
       int count = 0;
       std::vector<long> makespans;
+      api::Options options;
+      options.slot_cap = cap;
       for (const auto& spec : specs) {
         sched::Estimator est(spec.scenario.platform, spec.scenario.app, eps);
         auto sched = sched::make_scheduler("Y-IE", est);
         platform::MarkovAvailability avail(spec.scenario.platform, spec.avail_seed);
-        sim::EngineOptions opts;
-        opts.slot_cap = cap;
-        sim::Engine engine(spec.scenario.platform, spec.scenario.app, avail, *sched,
-                           opts);
-        const auto r = engine.run();
+        const auto r = api::Session::run_custom(options, spec.scenario.platform,
+                                                spec.scenario.app, avail, *sched);
         makespans.push_back(r.makespan);
         if (r.success) {
           sum += static_cast<double>(r.makespan);
@@ -134,16 +132,15 @@ int main(int argc, char** argv) {
       double sum = 0.0;
       int count = 0;
       const auto t0 = std::chrono::steady_clock::now();
+      api::Options options;
+      options.slot_cap = cap;
       for (const auto& spec : specs) {
         sched::Estimator est(spec.scenario.platform, spec.scenario.app, 1e-6);
         sched::ProactiveScheduler sched(sched::Criterion::P, sched::Rule::IE, est);
         sched.set_caching(caching);
         platform::MarkovAvailability avail(spec.scenario.platform, spec.avail_seed);
-        sim::EngineOptions opts;
-        opts.slot_cap = cap;
-        sim::Engine engine(spec.scenario.platform, spec.scenario.app, avail, sched,
-                           opts);
-        const auto r = engine.run();
+        const auto r = api::Session::run_custom(options, spec.scenario.platform,
+                                                spec.scenario.app, avail, sched);
         if (r.success) {
           sum += static_cast<double>(r.makespan);
           ++count;
@@ -167,6 +164,8 @@ int main(int argc, char** argv) {
       double sums[2] = {0.0, 0.0};
       int counts[2] = {0, 0};
       long reconfigs = 0;
+      api::Options options;
+      options.slot_cap = cap;
       for (const auto& spec : specs) {
         sched::Estimator est(spec.scenario.platform, spec.scenario.app, 1e-6);
         const std::pair<sched::Criterion, sched::Rule> combos[2] = {
@@ -176,11 +175,8 @@ int main(int argc, char** argv) {
           sched::ProactiveScheduler sched(combos[h].first, combos[h].second, est);
           sched.set_credit_compute(credit);
           platform::MarkovAvailability avail(spec.scenario.platform, spec.avail_seed);
-          sim::EngineOptions opts;
-          opts.slot_cap = cap;
-          sim::Engine engine(spec.scenario.platform, spec.scenario.app, avail,
-                             sched, opts);
-          const auto r = engine.run();
+          const auto r = api::Session::run_custom(options, spec.scenario.platform,
+                                                  spec.scenario.app, avail, sched);
           if (r.success) {
             sums[h] += static_cast<double>(r.makespan);
             ++counts[h];

@@ -15,20 +15,20 @@
 int main(int argc, char** argv) {
   using namespace tcgrid;
   util::Cli cli(argc, argv);
-  auto config = bench::config_from_cli(cli, /*m=*/5, /*default_cap=*/200'000);
+  auto spec = bench::spec_from_cli(cli, /*m=*/5, /*default_cap=*/200'000);
   // A lighter grid than Table I: the comparison, not the factorial, is the
   // point here.
-  config.wmins = {1, 3, 5, 7, 9};
-  config.ncoms = {5, 10};
-  config.heuristics = {"RANDOM", "FASTEST",  "MOSTAVAIL", "UPTIME",
-                       "IE",     "IAY",      "Y-IE",      "P-IE",
-                       "ADAPT-IE", "ADAPT-Y-IE"};
+  spec.grid.wmins = {1, 3, 5, 7, 9};
+  spec.grid.ncoms = {5, 10};
+  spec.heuristics = {"RANDOM", "FASTEST",  "MOSTAVAIL", "UPTIME",
+                     "IE",     "IAY",      "Y-IE",      "P-IE",
+                     "ADAPT-IE", "ADAPT-Y-IE"};
   std::cout << "== Baselines & adaptive variants vs the paper's heuristics ==\n"
             << "sweep: m=5 ncom={5,10} wmin={1,3,5,7,9}, "
-            << config.scenarios_per_cell << " scenario(s)/cell x " << config.trials
-            << " trial(s), cap=" << config.slot_cap << "\n\n";
+            << spec.grid.scenarios_per_cell << " scenario(s)/cell x " << spec.trials
+            << " trial(s), cap=" << spec.options.slot_cap << "\n\n";
 
-  const auto results = expt::run_sweep(config, bench::progress_printer());
+  const auto results = bench::run_and_aggregate(spec, cli);
   const auto summaries = expt::summarize_all(results, "IE");
   std::cout << expt::paper_table(summaries).str()
             << "\nReading guide: FASTEST/MOSTAVAIL/UPTIME are the §II-style"

@@ -1,15 +1,19 @@
-// Shared plumbing for the table/figure reproduction benches: CLI -> sweep
-// config, progress reporting, and the paper's published numbers for
-// side-by-side comparison.
+// Shared plumbing for the table/figure reproduction benches: CLI ->
+// api::ExperimentSpec, progress reporting, and the paper's published numbers
+// for side-by-side comparison.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "api/api.hpp"
 #include "expt/report.hpp"
-#include "expt/sweep.hpp"
 #include "util/cli.hpp"
 
 namespace tcgrid::bench {
@@ -20,28 +24,30 @@ namespace tcgrid::bench {
 /// structure (all ncom and wmin values) but runs in minutes on one core;
 /// `--full` restores the paper's exact scale (10 scenarios x 10 trials,
 /// 10^6-slot cap).
-inline expt::SweepConfig config_from_cli(const util::Cli& cli, int m,
+inline api::ExperimentSpec spec_from_cli(const util::Cli& cli, int m,
                                          long default_cap) {
-  expt::SweepConfig config;
-  config.ms = {m};
   const bool full = cli.get_bool("full");
-  config.scenarios_per_cell =
-      static_cast<int>(cli.get_long("scenarios", full ? 10 : 2));
-  config.trials = static_cast<int>(cli.get_long("trials", full ? 10 : 2));
-  config.slot_cap = cli.get_long("cap", full ? 1'000'000 : default_cap);
-  config.eps = cli.get_double("eps", 1e-6);
-  config.seed = static_cast<std::uint64_t>(cli.get_long("seed", 42));
-  config.threads = static_cast<std::size_t>(cli.get_long("threads", 0));
-  return config;
+  api::ExperimentSpec spec = full ? api::ExperimentSpec::paper(m)
+                                  : api::ExperimentSpec::reduced(m, default_cap);
+  spec.grid.scenarios_per_cell =
+      static_cast<int>(cli.get_long("scenarios", spec.grid.scenarios_per_cell));
+  spec.trials = static_cast<int>(cli.get_long("trials", spec.trials));
+  spec.options.slot_cap = cli.get_long("cap", spec.options.slot_cap);
+  spec.options.eps = cli.get_double("eps", 1e-6);
+  spec.options.seed = static_cast<std::uint64_t>(cli.get_long("seed", 42));
+  spec.options.threads = static_cast<std::size_t>(cli.get_long("threads", 0));
+  return spec;
 }
 
-inline void print_header(const std::string& what, const expt::SweepConfig& c) {
+inline void print_header(const std::string& what, const api::ExperimentSpec& spec) {
   std::cout << "== " << what << " ==\n"
-            << "sweep: m=" << c.ms[0] << " ncom={5,10,20} wmin=1..10, "
-            << c.scenarios_per_cell << " scenario(s)/cell x " << c.trials
-            << " trial(s), cap=" << c.slot_cap << " slots, seed=" << c.seed
+            << "sweep: m=" << spec.grid.ms[0] << " ncom={5,10,20} wmin=1..10, "
+            << spec.grid.scenarios_per_cell << " scenario(s)/cell x " << spec.trials
+            << " trial(s), cap=" << spec.options.slot_cap
+            << " slots, seed=" << spec.options.seed
             << "\n(paper scale: --full; knobs: --scenarios N --trials N --cap N"
-               " --seed N --threads N)\n\n";
+               " --seed N --threads N;\n --jsonl PATH / --raw-csv PATH stream raw"
+               " outcomes)\n\n";
 }
 
 inline std::function<void(std::size_t, std::size_t)> progress_printer() {
@@ -52,6 +58,41 @@ inline std::function<void(std::size_t, std::size_t)> progress_printer() {
       std::fflush(stderr);
     }
   };
+}
+
+/// Run the sweep through the facade, aggregating in memory and optionally
+/// streaming raw outcomes to CSV/JSONL files named on the command line
+/// (--raw-csv PATH, --jsonl PATH).
+inline expt::SweepResults run_and_aggregate(const api::ExperimentSpec& spec,
+                                            const util::Cli& cli) {
+  api::Session session;
+  api::AggregateSink aggregate;
+  try {
+    std::vector<api::ResultSink*> sinks{&aggregate};
+
+    std::optional<api::CsvSink> csv;
+    if (cli.has("raw-csv")) {
+      csv.emplace(cli.get("raw-csv", "outcomes.csv"));
+      sinks.push_back(&*csv);
+    }
+    std::optional<api::JsonlSink> jsonl;
+    if (cli.has("jsonl")) {
+      jsonl.emplace(cli.get("jsonl", "outcomes.jsonl"));
+      sinks.push_back(&*jsonl);
+    }
+
+    session.run(spec, sinks, progress_printer());
+  } catch (const std::invalid_argument& e) {
+    // Up-front spec validation failure (bad CLI values): report and exit
+    // cleanly instead of aborting on an uncaught exception.
+    std::cerr << "invalid experiment spec: " << e.what() << '\n';
+    std::exit(2);
+  } catch (const std::runtime_error& e) {
+    // Sink construction failure (unwritable --raw-csv/--jsonl path).
+    std::cerr << e.what() << '\n';
+    std::exit(2);
+  }
+  return std::move(aggregate).take();
 }
 
 /// The %diff values published in the paper's Table I (m = 5).

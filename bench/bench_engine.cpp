@@ -3,34 +3,38 @@
 // and a single incremental configuration build.
 #include <benchmark/benchmark.h>
 
-#include "expt/runner.hpp"
+#include "api/api.hpp"
 #include "platform/scenario.hpp"
 #include "sched/incremental.hpp"
 #include "sched/registry.hpp"
-#include "sim/engine.hpp"
 
 namespace {
 
 using namespace tcgrid;
 
-platform::Scenario bench_scenario(int m, long wmin) {
+platform::ScenarioParams bench_params(int m, long wmin) {
   platform::ScenarioParams params;
   params.m = m;
   params.ncom = 5;
   params.wmin = wmin;
   params.seed = 11;
-  return platform::make_scenario(params);
+  return params;
+}
+
+platform::Scenario bench_scenario(int m, long wmin) {
+  return platform::make_scenario(bench_params(m, wmin));
 }
 
 void run_heuristic_benchmark(benchmark::State& state, const char* name) {
-  const auto scenario = bench_scenario(static_cast<int>(state.range(0)),
-                                       state.range(1));
-  sched::Estimator est(scenario.platform, scenario.app, 1e-6);
-  expt::RunOptions opts;
-  opts.slot_cap = 1'000'000;
+  const auto params = bench_params(static_cast<int>(state.range(0)), state.range(1));
+  api::Session session;
+  // Warm the session's scenario+estimator cache outside the timed region so
+  // iterations measure the engine, not one-time construction (matching the
+  // pre-facade benchmark semantics).
+  (void)session.run_trial(params, name, 0);
   long slots = 0;
   for (auto _ : state) {
-    const auto r = expt::run_trial(scenario, est, name, 0, opts);
+    const auto r = session.run_trial(params, name, 0);
     slots += r.makespan;
     benchmark::DoNotOptimize(r.makespan);
   }

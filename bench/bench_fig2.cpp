@@ -13,11 +13,11 @@
 int main(int argc, char** argv) {
   using namespace tcgrid;
   util::Cli cli(argc, argv);
-  auto config = bench::config_from_cli(cli, /*m=*/10, /*default_cap=*/150'000);
-  config.heuristics = sched::tableii_heuristic_names();
-  bench::print_header("Figure 2: relative distance vs wmin (m = 10)", config);
+  auto spec = bench::spec_from_cli(cli, /*m=*/10, /*default_cap=*/150'000);
+  spec.heuristics = sched::tableii_heuristic_names();
+  bench::print_header("Figure 2: relative distance vs wmin (m = 10)", spec);
 
-  const auto results = expt::run_sweep(config, bench::progress_printer());
+  const auto results = bench::run_and_aggregate(spec, cli);
   const auto series = expt::figure2_series(results, "IE");
   std::cout << expt::figure2_table(series).str()
             << "\n(values are mean relative distance to IE; negative = better"

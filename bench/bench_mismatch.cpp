@@ -15,12 +15,12 @@
 #include <iostream>
 #include <vector>
 
+#include "api/api.hpp"
 #include "expt/runner.hpp"
 #include "platform/scenario.hpp"
 #include "platform/semi_markov.hpp"
 #include "platform/trace_io.hpp"
 #include "sched/registry.hpp"
-#include "sim/engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -54,10 +54,9 @@ long run_with(const platform::Platform& real, const model::Application& app,
               platform::AvailabilitySource& avail, const sched::Estimator& est,
               const std::string& name, long cap) {
   auto sched = sched::make_scheduler(name, est, 7);
-  sim::EngineOptions opts;
-  opts.slot_cap = cap;
-  sim::Engine engine(real, app, avail, *sched, opts);
-  return engine.run().makespan;
+  api::Options options;
+  options.slot_cap = cap;
+  return api::Session::run_custom(options, real, app, avail, *sched).makespan;
 }
 
 }  // namespace

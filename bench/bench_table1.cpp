@@ -11,10 +11,10 @@
 int main(int argc, char** argv) {
   using namespace tcgrid;
   util::Cli cli(argc, argv);
-  auto config = bench::config_from_cli(cli, /*m=*/5, /*default_cap=*/1'000'000);
-  bench::print_header("Table I: results with m = 5 tasks", config);
+  const auto spec = bench::spec_from_cli(cli, /*m=*/5, /*default_cap=*/1'000'000);
+  bench::print_header("Table I: results with m = 5 tasks", spec);
 
-  const auto results = expt::run_sweep(config, bench::progress_printer());
+  const auto results = bench::run_and_aggregate(spec, cli);
   const auto summaries = expt::summarize_all(results, "IE");
   std::cout << bench::table_with_paper_column(summaries, bench::paper_table1_diff())
                    .str()

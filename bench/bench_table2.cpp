@@ -12,12 +12,12 @@
 int main(int argc, char** argv) {
   using namespace tcgrid;
   util::Cli cli(argc, argv);
-  auto config = bench::config_from_cli(cli, /*m=*/10, /*default_cap=*/150'000);
-  config.heuristics = sched::tableii_heuristic_names();
+  auto spec = bench::spec_from_cli(cli, /*m=*/10, /*default_cap=*/150'000);
+  spec.heuristics = sched::tableii_heuristic_names();
   bench::print_header("Table II: results with m = 10 tasks (best 8 heuristics)",
-                      config);
+                      spec);
 
-  const auto results = expt::run_sweep(config, bench::progress_printer());
+  const auto results = bench::run_and_aggregate(spec, cli);
   const auto summaries = expt::summarize_all(results, "IE");
   std::cout << bench::table_with_paper_column(summaries, bench::paper_table2_diff())
                    .str()

@@ -8,8 +8,8 @@
 // everyone; the iteration completes at the global synchronization.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "platform/availability.hpp"
-#include "sim/engine.hpp"
 #include "sim/gantt.hpp"
 
 int main() {
@@ -59,14 +59,13 @@ int main() {
     [[nodiscard]] std::string_view name() const override { return "figure1"; }
   } sched;
 
-  sim::EngineOptions opts;
-  opts.record_trace = true;
-  sim::Engine engine(plat, app, avail, sched, opts);
-  const auto result = engine.run();
+  api::Session session;
+  sim::ActivityTrace trace;
+  const auto result = session.run_custom(plat, app, avail, sched, &trace);
 
   std::cout << "Figure 1 reproduction: one iteration, m=5 tasks, ncom=2, "
                "Tprog=2, Tdata=1, config {P2:2, P3:2, P4:1}, W=6\n\n"
-            << sim::render_gantt(engine.trace()) << '\n'
+            << sim::render_gantt(trace) << '\n'
             << sim::gantt_legend() << '\n'
             << "iteration completed at slot " << result.makespan - 1 << " ("
             << result.iterations[0].comm_slots << " communication slots, "

@@ -8,8 +8,7 @@
 #include <iostream>
 #include <vector>
 
-#include "expt/runner.hpp"
-#include "platform/scenario.hpp"
+#include "api/api.hpp"
 #include "sched/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -25,10 +24,9 @@ int main(int argc, char** argv) {
   params.seed = static_cast<std::uint64_t>(cli.get_long("seed", 11));
   const int trials = static_cast<int>(cli.get_long("trials", 3));
 
-  const auto scenario = platform::make_scenario(params);
-  sched::Estimator estimator(scenario.platform, scenario.app, 1e-6);
-  expt::RunOptions options;
+  api::Options options;
   options.slot_cap = cli.get_long("cap", 500'000);
+  api::Session session(options);  // one estimator, reused across the tour
 
   std::cout << "Scenario: p=20, m=" << params.m << ", ncom=" << params.ncom
             << ", wmin=" << params.wmin << ", " << trials
@@ -49,7 +47,7 @@ int main(int argc, char** argv) {
     row.name = name;
     int ok = 0;
     for (int t = 0; t < trials; ++t) {
-      const auto r = expt::run_trial(scenario, estimator, name, t, options);
+      const auto r = session.run_trial(params, name, t);
       if (r.success) {
         row.mean += static_cast<double>(r.makespan);
         ++ok;
@@ -81,7 +79,7 @@ int main(int argc, char** argv) {
   std::cout << table.str() << '\n';
 
   // Anatomy of the winner's first trial.
-  const auto best = expt::run_trial(scenario, estimator, best_name, 0, options);
+  const auto best = session.run_trial(params, best_name, 0);
   std::cout << "Anatomy of " << best_name << " (trial 0, makespan "
             << best.makespan << "):\n";
   util::Table anatomy({"iteration", "slots", "comm", "compute", "suspended",

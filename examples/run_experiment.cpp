@@ -8,11 +8,8 @@
 //                    [--csv out.csv] [--list]
 #include <iostream>
 
-#include "expt/runner.hpp"
-#include "platform/availability.hpp"
-#include "platform/scenario.hpp"
+#include "api/api.hpp"
 #include "sched/registry.hpp"
-#include "sim/engine.hpp"
 #include "sim/gantt.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -45,12 +42,12 @@ int main(int argc, char** argv) {
   params.iterations = static_cast<int>(cli.get_long("iterations", 10));
   params.seed = static_cast<std::uint64_t>(cli.get_long("seed", 7));
 
-  const auto scenario = platform::make_scenario(params);
-  sched::Estimator estimator(scenario.platform, scenario.app,
-                             cli.get_double("eps", 1e-6));
+  api::Options options;
+  options.slot_cap = cli.get_long("cap", 1'000'000);
+  options.eps = cli.get_double("eps", 1e-6);
+  api::Session session(options);
 
   const int trials = static_cast<int>(cli.get_long("trials", 1));
-  const long cap = cli.get_long("cap", 1'000'000);
   const long gantt_from = cli.get_long("gantt-from", -1);
   const long gantt_to = cli.get_long("gantt-to", gantt_from >= 0 ? gantt_from + 120 : -1);
 
@@ -59,17 +56,10 @@ int main(int argc, char** argv) {
   util::Table summary({"trial", "makespan", "restarts", "reconfigs", "status"});
 
   for (int trial = 0; trial < trials; ++trial) {
-    platform::MarkovAvailability availability(scenario.platform,
-                                              expt::trial_seed(scenario, trial));
-    auto scheduler = sched::make_scheduler(
-        heuristic, estimator,
-        util::derive_seed(params.seed, 2000 + static_cast<std::uint64_t>(trial)));
-    sim::EngineOptions opts;
-    opts.slot_cap = cap;
-    opts.record_trace = gantt_from >= 0 && trial == 0;
-    sim::Engine engine(scenario.platform, scenario.app, availability, *scheduler,
-                       opts);
-    const auto r = engine.run();
+    const bool want_trace = gantt_from >= 0 && trial == 0;
+    sim::ActivityTrace trace;
+    const auto r = session.run_trial(params, heuristic, trial,
+                                     want_trace ? &trace : nullptr);
 
     summary.add_row({std::to_string(trial), std::to_string(r.makespan),
                      std::to_string(r.total_restarts),
@@ -95,9 +85,9 @@ int main(int argc, char** argv) {
              std::to_string(it.reconfigurations)});
       }
       std::cout << anatomy.str() << '\n';
-      if (opts.record_trace) {
+      if (want_trace) {
         std::cout << "Gantt, slots [" << gantt_from << ", " << gantt_to << "):\n"
-                  << sim::render_gantt(engine.trace(), gantt_from, gantt_to)
+                  << sim::render_gantt(trace, gantt_from, gantt_to)
                   << sim::gantt_legend() << '\n';
       }
     }

@@ -11,14 +11,12 @@
 #include <iostream>
 #include <sstream>
 
-#include "expt/runner.hpp"
+#include "api/api.hpp"
 #include "offline/clairvoyant.hpp"
 #include "platform/availability.hpp"
-#include "platform/scenario.hpp"
 #include "platform/semi_markov.hpp"
 #include "platform/trace_io.hpp"
 #include "sched/registry.hpp"
-#include "sim/engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -74,14 +72,16 @@ int main(int argc, char** argv) {
             << util::Table::num(pi0[2]) << ")\n\n";
 
   // --- replay the trace under several heuristics ---------------------------
+  api::Options options;
+  options.slot_cap = static_cast<long>(timeline.size());
+  api::Session session(options);
+
   util::Table table({"Heuristic", "makespan", "iterations", "restarts", "status"});
   for (const char* name : {"RANDOM", "IE", "IAY", "Y-IE", "P-IE"}) {
     platform::FixedAvailability avail(timeline);
     auto scheduler = sched::make_scheduler(name, estimator, seed);
-    sim::EngineOptions opts;
-    opts.slot_cap = static_cast<long>(timeline.size());
-    sim::Engine engine(scenario.platform, scenario.app, avail, *scheduler, opts);
-    const auto r = engine.run();
+    const auto r =
+        session.run_custom(scenario.platform, scenario.app, avail, *scheduler);
     table.add_row({name, std::to_string(r.makespan),
                    std::to_string(r.iterations_completed),
                    std::to_string(r.total_restarts),
@@ -91,10 +91,7 @@ int main(int argc, char** argv) {
   {
     offline::ClairvoyantScheduler clair(scenario.platform, scenario.app, timeline);
     platform::FixedAvailability avail(timeline);
-    sim::EngineOptions opts;
-    opts.slot_cap = static_cast<long>(timeline.size());
-    sim::Engine engine(scenario.platform, scenario.app, avail, clair, opts);
-    const auto r = engine.run();
+    const auto r = session.run_custom(scenario.platform, scenario.app, avail, clair);
     table.add_row({"CLAIRVOYANT", std::to_string(r.makespan),
                    std::to_string(r.iterations_completed),
                    std::to_string(r.total_restarts),

@@ -1,0 +1,18 @@
+// Umbrella header for the tcgrid experiment facade.
+//
+//   #include "api/api.hpp"
+//
+//   tcgrid::api::ExperimentSpec spec = tcgrid::api::ExperimentSpec::reduced(5, 200'000);
+//   tcgrid::api::Session session;
+//   tcgrid::api::AggregateSink agg;
+//   tcgrid::api::CsvSink csv("outcomes.csv");
+//   session.run(spec, {&agg, &csv});
+//
+// See README.md for the full quickstart and DESIGN.md §6 for the layer's
+// rationale.
+#pragma once
+
+#include "api/options.hpp"   // IWYU pragma: export
+#include "api/session.hpp"   // IWYU pragma: export
+#include "api/sink.hpp"      // IWYU pragma: export
+#include "api/spec.hpp"      // IWYU pragma: export

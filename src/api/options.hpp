@@ -1,0 +1,46 @@
+// The ONE options struct of the experiment facade.
+//
+// Before the facade existed, the same knobs were triplicated across
+// sim::EngineOptions (slot cap, comm order, tracing), expt::RunOptions
+// (slot cap again, estimator eps, initial states) and expt::SweepConfig
+// (slot cap and eps a third time, plus threads and the master seed).
+// api::Options unifies them; the legacy structs are derived from it at the
+// point of use and remain only for source compatibility.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/availability.hpp"
+#include "sim/engine.hpp"
+
+namespace tcgrid::api {
+
+struct Options {
+  // --- simulation engine ---------------------------------------------------
+  long slot_cap = 1'000'000;  ///< fail a run when its makespan reaches this
+  sim::CommOrder comm_order = sim::CommOrder::Enrollment;  ///< master service order
+  bool record_trace = false;  ///< keep per-slot activity traces (costly)
+
+  // --- estimator -----------------------------------------------------------
+  double eps = 1e-6;  ///< truncation precision of the §V series
+
+  // --- availability --------------------------------------------------------
+  platform::InitialStates init = platform::InitialStates::Stationary;
+
+  // --- execution -----------------------------------------------------------
+  std::size_t threads = 0;   ///< worker threads for sweeps (0 = hardware)
+  std::uint64_t seed = 42;   ///< master seed for scenario-grid derivation
+
+  /// The engine view of these options. `force_trace` additionally turns on
+  /// trace recording (used when a caller passes a trace out-parameter).
+  [[nodiscard]] sim::EngineOptions engine(bool force_trace = false) const {
+    sim::EngineOptions e;
+    e.slot_cap = slot_cap;
+    e.record_trace = record_trace || force_trace;
+    e.comm_order = comm_order;
+    return e;
+  }
+};
+
+}  // namespace tcgrid::api

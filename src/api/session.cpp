@@ -1,0 +1,153 @@
+#include "api/session.hpp"
+
+#include <atomic>
+
+#include "expt/runner.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tcgrid::api {
+
+Session::Session(Options options) : options_(options) {}
+
+Session::ScenarioEntry::ScenarioEntry(const platform::ScenarioParams& params, double eps)
+    : scenario(platform::make_scenario(params)),
+      estimator(scenario.platform, scenario.app, eps) {}
+
+Session::ThreadCache& Session::this_thread_cache() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  // std::map nodes are stable: the returned reference survives other
+  // threads inserting their own caches.
+  return caches_[std::this_thread::get_id()];
+}
+
+Session::ScenarioEntry& Session::entry_for(const platform::ScenarioParams& params) {
+  ThreadCache& cache = this_thread_cache();
+  const Key key{params.seed, params.m, params.ncom, params.wmin, params.p,
+                params.iterations};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<ScenarioEntry>(params, options_.eps)).first;
+  }
+  return *it->second;
+}
+
+const platform::Scenario& Session::scenario_for(const platform::ScenarioParams& params) {
+  return entry_for(params).scenario;
+}
+
+const sched::Estimator& Session::estimator_for(const platform::ScenarioParams& params) {
+  return entry_for(params).estimator;
+}
+
+sim::SimulationResult Session::run_one(const Options& options,
+                                       const platform::Scenario& scenario,
+                                       const sched::Estimator& estimator,
+                                       std::string_view heuristic, int trial,
+                                       sim::ActivityTrace* trace) {
+  // Availability and RANDOM-scheduler streams use the exact derivations of
+  // expt::run_trial, so facade runs are byte-identical to legacy runs.
+  platform::MarkovAvailability availability(scenario.platform,
+                                            expt::trial_seed(scenario, trial),
+                                            options.init);
+  auto scheduler = sched::make_scheduler(
+      heuristic, estimator,
+      util::derive_seed(scenario.params.seed, 2000 + static_cast<std::uint64_t>(trial)));
+  sim::Engine engine(scenario.platform, scenario.app, availability, *scheduler,
+                     options.engine(trace != nullptr));
+  sim::SimulationResult result = engine.run();
+  if (trace != nullptr) *trace = engine.trace();
+  return result;
+}
+
+sim::SimulationResult Session::run_trial(const platform::ScenarioParams& params,
+                                         std::string_view heuristic, int trial,
+                                         sim::ActivityTrace* trace) {
+  if (!sched::is_heuristic_name(heuristic)) {
+    throw std::invalid_argument("Session::run_trial: unknown heuristic '" +
+                                std::string(heuristic) + "'");
+  }
+  const ScenarioEntry& entry = entry_for(params);
+  return run_one(options_, entry.scenario, entry.estimator, heuristic, trial, trace);
+}
+
+sim::SimulationResult Session::run_custom(const platform::Platform& platform,
+                                          const model::Application& app,
+                                          platform::AvailabilitySource& availability,
+                                          sim::Scheduler& scheduler,
+                                          sim::ActivityTrace* trace) const {
+  return run_custom(options_, platform, app, availability, scheduler, trace);
+}
+
+sim::SimulationResult Session::run_custom(const Options& options,
+                                          const platform::Platform& platform,
+                                          const model::Application& app,
+                                          platform::AvailabilitySource& availability,
+                                          sim::Scheduler& scheduler,
+                                          sim::ActivityTrace* trace) {
+  sim::Engine engine(platform, app, availability, scheduler,
+                     options.engine(trace != nullptr));
+  sim::SimulationResult result = engine.run();
+  if (trace != nullptr) *trace = engine.trace();
+  return result;
+}
+
+Session::RunStats Session::run(const ExperimentSpec& spec,
+                               const std::vector<ResultSink*>& sinks,
+                               const Progress& progress) {
+  spec.validate();
+
+  const std::vector<platform::ScenarioParams> scenarios = spec.scenarios();
+  const std::vector<std::string>& heuristics = spec.resolved_heuristics();
+  const Options& options = spec.options;
+
+  for (ResultSink* sink : sinks) sink->begin(spec, scenarios, heuristics);
+
+  // Serializes sink consumption and progress reporting (the documented
+  // thread-safety contract); also orders the completion counter.
+  std::mutex emit_mutex;
+  std::atomic<std::size_t> rows{0};
+  std::size_t done = 0;
+
+  util::parallel_for(
+      scenarios.size(),
+      [&](std::size_t sc) {
+        // One scenario = one task: the scenario and its estimator are built
+        // here and only ever touched by this worker, so the non-thread-safe
+        // estimator is shared across all heuristics x trials of the scenario
+        // (cache warmth) without locking. Sweep scenarios are deliberately
+        // NOT inserted into the per-thread caches: a full sweep visits each
+        // scenario once, so caching would only grow memory.
+        const platform::Scenario scenario = platform::make_scenario(scenarios[sc]);
+        const sched::Estimator estimator(scenario.platform, scenario.app, options.eps);
+        for (std::size_t h = 0; h < heuristics.size(); ++h) {
+          for (int trial = 0; trial < spec.trials; ++trial) {
+            const sim::SimulationResult result =
+                run_one(options, scenario, estimator, heuristics[h], trial, nullptr);
+            ResultRow row;
+            row.heuristic = h;
+            row.scenario = sc;
+            row.trial = trial;
+            row.name = &heuristics[h];
+            row.params = &scenarios[sc];
+            row.result = &result;
+            {
+              const std::lock_guard<std::mutex> lock(emit_mutex);
+              for (ResultSink* sink : sinks) sink->consume(row);
+            }
+            rows.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        const std::lock_guard<std::mutex> lock(emit_mutex);
+        ++done;
+        if (progress) progress(done, scenarios.size());
+      },
+      options.threads);
+
+  for (ResultSink* sink : sinks) sink->finish();
+
+  return RunStats{scenarios.size(), rows.load()};
+}
+
+}  // namespace tcgrid::api

@@ -1,0 +1,136 @@
+// Session: the single entry point for running experiments.
+//
+// A Session owns the execution machinery the old drivers wired by hand —
+// scenario instantiation, estimator construction and reuse, scheduler
+// creation, engine setup, worker threads — behind three calls:
+//
+//   * run(spec, sinks)    — a full factorial sweep, streamed to ResultSinks;
+//   * run_trial(...)      — one (scenario, heuristic, trial) paired run;
+//   * run_custom(...)     — one run with a caller-supplied availability
+//                           source and/or scheduler (scripted traces,
+//                           clairvoyant references, ablation schedulers).
+//
+// Thread-safety contract (the rule formerly only stated as a comment in
+// expt/runner.hpp, now enforced structurally):
+//
+//   * sched::Estimator is NOT thread-safe, and estimator cache warmth is the
+//     dominant cost of a sweep. The session keeps one estimator cache PER
+//     WORKER THREAD, keyed by scenario identity, so an estimator is only
+//     ever touched by the thread that built it.
+//   * ResultSink::consume and the progress callback may be invoked from
+//     worker threads but are serialized under an internal mutex: no two
+//     calls ever run concurrently, so unsynchronized sink/callback state is
+//     safe. (Legacy expt::run_sweep inherits this guarantee.)
+//   * run_trial / run_custom / scenario_for may be called from any ONE
+//     thread at a time; concurrent calls into the same Session from
+//     different user threads are serialized by the same per-thread caching
+//     (each caller thread gets its own cache).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/options.hpp"
+#include "api/sink.hpp"
+#include "api/spec.hpp"
+#include "platform/availability.hpp"
+#include "platform/scenario.hpp"
+#include "sched/estimator.hpp"
+#include "sim/events.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace tcgrid::api {
+
+class Session {
+ public:
+  /// Options for single-run calls (run_trial / run_custom) and the defaults
+  /// a sweep falls back to. ExperimentSpec::options wins inside run().
+  explicit Session(Options options = {});
+
+  /// Progress callback: (scenarios completed, scenarios total). Serialized
+  /// with sink consumption (see the thread-safety contract above).
+  using Progress = std::function<void(std::size_t, std::size_t)>;
+
+  struct RunStats {
+    std::size_t scenarios = 0;  ///< scenarios simulated
+    std::size_t rows = 0;       ///< trial outcomes streamed to sinks
+  };
+
+  /// Run the spec, streaming every completed (heuristic, scenario, trial)
+  /// outcome to each sink. Validates the spec up front (throws
+  /// std::invalid_argument before any simulation starts). Scenarios are
+  /// distributed over spec.options.threads workers; simulation RESULTS are
+  /// deterministic and independent of the thread count, but the ORDER in
+  /// which rows reach sinks is completion order (see sink.hpp).
+  RunStats run(const ExperimentSpec& spec, const std::vector<ResultSink*>& sinks,
+               const Progress& progress = nullptr);
+
+  /// One paired trial: the availability realization is a pure function of
+  /// (scenario seed, trial), so every heuristic run with the same arguments
+  /// faces the identical availability (the paper's paired comparison).
+  /// The scenario and its estimator are cached per calling thread. If
+  /// `trace` is non-null the engine records the activity trace into it.
+  [[nodiscard]] sim::SimulationResult run_trial(const platform::ScenarioParams& params,
+                                                std::string_view heuristic, int trial,
+                                                sim::ActivityTrace* trace = nullptr);
+
+  /// One run with a caller-supplied availability source and scheduler,
+  /// using the session options for the engine knobs.
+  [[nodiscard]] sim::SimulationResult run_custom(const platform::Platform& platform,
+                                                 const model::Application& app,
+                                                 platform::AvailabilitySource& availability,
+                                                 sim::Scheduler& scheduler,
+                                                 sim::ActivityTrace* trace = nullptr) const;
+
+  /// run_custom with per-call option overrides (e.g. the ablation bench
+  /// sweeping CommOrder without rebuilding a session).
+  [[nodiscard]] static sim::SimulationResult run_custom(
+      const Options& options, const platform::Platform& platform,
+      const model::Application& app, platform::AvailabilitySource& availability,
+      sim::Scheduler& scheduler, sim::ActivityTrace* trace = nullptr);
+
+  /// The cached instantiation of a scenario (platform + application) for the
+  /// calling thread. Valid until the session is destroyed.
+  [[nodiscard]] const platform::Scenario& scenario_for(const platform::ScenarioParams& params);
+
+  /// The calling thread's cached estimator for a scenario (built on first
+  /// use with options().eps). Valid until the session is destroyed; never
+  /// share it with another thread.
+  [[nodiscard]] const sched::Estimator& estimator_for(const platform::ScenarioParams& params);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  /// A scenario instantiated together with its estimator (the estimator
+  /// holds references into the scenario, so they live and die together).
+  struct ScenarioEntry {
+    explicit ScenarioEntry(const platform::ScenarioParams& params, double eps);
+    platform::Scenario scenario;
+    sched::Estimator estimator;
+  };
+  /// Scenario-identity key (every field that affects make_scenario).
+  using Key = std::tuple<std::uint64_t, int, int, long, int, int>;
+  using ThreadCache = std::map<Key, std::unique_ptr<ScenarioEntry>>;
+
+  [[nodiscard]] ScenarioEntry& entry_for(const platform::ScenarioParams& params);
+  [[nodiscard]] ThreadCache& this_thread_cache();
+
+  [[nodiscard]] static sim::SimulationResult run_one(
+      const Options& options, const platform::Scenario& scenario,
+      const sched::Estimator& estimator, std::string_view heuristic, int trial,
+      sim::ActivityTrace* trace);
+
+  Options options_;
+
+  std::mutex cache_mutex_;  ///< guards the per-thread cache directory only
+  std::map<std::thread::id, ThreadCache> caches_;
+};
+
+}  // namespace tcgrid::api

@@ -1,0 +1,68 @@
+// Declarative description of an experiment: what to run, not how.
+//
+// An ExperimentSpec names a scenario population (either the paper's factorial
+// grid or an explicit scenario list), a heuristic set, a trial count and one
+// api::Options block. A Session turns the spec into simulations; ResultSinks
+// receive the outcomes. New workloads are a spec, not 100 lines of plumbing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/options.hpp"
+#include "platform/scenario.hpp"
+
+namespace tcgrid::api {
+
+/// The paper's factorial scenario grid (§VII-A): the cross product of
+/// m x ncom x wmin, with `scenarios_per_cell` random scenarios per cell.
+/// Scenario seeds are derived from Options::seed, so a grid is reproducible.
+struct ScenarioGrid {
+  std::vector<int> ms{5};
+  std::vector<int> ncoms{5, 10, 20};
+  std::vector<long> wmins{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  int scenarios_per_cell = 10;
+  int p = 20;           ///< processors per scenario (paper fixes 20)
+  int iterations = 10;  ///< application iterations to makespan (paper fixes 10)
+};
+
+/// A full experiment: scenarios x heuristics x trials, plus all knobs.
+struct ExperimentSpec {
+  /// Factorial grid, used when `explicit_scenarios` is empty.
+  ScenarioGrid grid;
+
+  /// Explicit scenario list; when non-empty it replaces the grid entirely.
+  std::vector<platform::ScenarioParams> explicit_scenarios;
+
+  /// Heuristic names (registry names). Empty = the paper's 17.
+  std::vector<std::string> heuristics;
+
+  int trials = 10;  ///< paired trials per (heuristic, scenario)
+
+  Options options;
+
+  /// The resolved scenario population: `explicit_scenarios` if given,
+  /// otherwise the grid enumerated cell-major (scenarios_per_cell
+  /// consecutive entries per cell, seeds derived from options.seed).
+  [[nodiscard]] std::vector<platform::ScenarioParams> scenarios() const;
+
+  /// The resolved heuristic set (all 17 when `heuristics` is empty).
+  [[nodiscard]] const std::vector<std::string>& resolved_heuristics() const;
+
+  /// Validate the spec before any simulation runs: every heuristic name must
+  /// be registered and the counts positive. Throws std::invalid_argument
+  /// naming the offending field — failing here, up front, replaces the old
+  /// behaviour of dying mid-sweep inside run_trial.
+  void validate() const;
+
+  /// The paper's exact experimental scale for one m (10 scenarios/cell,
+  /// 10 trials, 10^6-slot cap).
+  [[nodiscard]] static ExperimentSpec paper(int m);
+
+  /// The reduced sweep (DESIGN.md §2): same factorial structure, 2
+  /// scenarios/cell x 2 trials, configurable cap. Minutes, not hours.
+  [[nodiscard]] static ExperimentSpec reduced(int m, long slot_cap);
+};
+
+}  // namespace tcgrid::api

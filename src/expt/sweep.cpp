@@ -1,86 +1,53 @@
 #include "expt/sweep.hpp"
 
-#include <atomic>
 #include <stdexcept>
 
-#include "sched/registry.hpp"
-#include "util/thread_pool.hpp"
+#include "api/session.hpp"
 
 namespace tcgrid::expt {
 
 int SweepResults::heuristic_index(const std::string& name) const {
+  const int i = try_heuristic_index(name);
+  if (i < 0) {
+    throw std::invalid_argument("SweepResults: heuristic not in sweep: " + name);
+  }
+  return i;
+}
+
+int SweepResults::try_heuristic_index(const std::string& name) const noexcept {
   for (std::size_t i = 0; i < heuristics.size(); ++i) {
     if (heuristics[i] == name) return static_cast<int>(i);
   }
-  throw std::invalid_argument("SweepResults: heuristic not in sweep: " + name);
+  return -1;
+}
+
+api::ExperimentSpec to_spec(const SweepConfig& config) {
+  api::ExperimentSpec spec;
+  spec.grid.ms = config.ms;
+  spec.grid.ncoms = config.ncoms;
+  spec.grid.wmins = config.wmins;
+  spec.grid.scenarios_per_cell = config.scenarios_per_cell;
+  spec.grid.p = config.p;
+  spec.grid.iterations = config.iterations;
+  spec.heuristics = config.heuristics;
+  spec.trials = config.trials;
+  spec.options.slot_cap = config.slot_cap;
+  spec.options.eps = config.eps;
+  spec.options.seed = config.seed;
+  spec.options.threads = config.threads;
+  return spec;
 }
 
 std::vector<platform::ScenarioParams> scenario_grid(const SweepConfig& c) {
-  std::vector<platform::ScenarioParams> grid;
-  std::uint64_t cell = 0;
-  for (int m : c.ms) {
-    for (int ncom : c.ncoms) {
-      for (long wmin : c.wmins) {
-        for (int s = 0; s < c.scenarios_per_cell; ++s) {
-          platform::ScenarioParams params;
-          params.m = m;
-          params.ncom = ncom;
-          params.wmin = wmin;
-          params.p = c.p;
-          params.iterations = c.iterations;
-          params.seed = util::derive_seed(
-              c.seed, cell * 1000 + static_cast<std::uint64_t>(s));
-          grid.push_back(params);
-        }
-        ++cell;
-      }
-    }
-  }
-  return grid;
+  return to_spec(c).scenarios();
 }
 
 SweepResults run_sweep(const SweepConfig& config,
                        const std::function<void(std::size_t, std::size_t)>& progress) {
-  SweepResults results;
-  results.heuristics = config.heuristics.empty() ? sched::all_heuristic_names()
-                                                 : config.heuristics;
-  results.scenarios = scenario_grid(config);
-
-  const std::size_t n_heur = results.heuristics.size();
-  const std::size_t n_scen = results.scenarios.size();
-  results.outcomes.assign(n_heur, std::vector<ScenarioOutcomes>(n_scen));
-  for (auto& per_scenario : results.outcomes) {
-    for (auto& trials : per_scenario) {
-      trials.resize(static_cast<std::size_t>(config.trials));
-    }
-  }
-
-  RunOptions run_options;
-  run_options.slot_cap = config.slot_cap;
-  run_options.eps = config.eps;
-
-  std::atomic<std::size_t> done{0};
-  util::parallel_for(
-      n_scen,
-      [&](std::size_t sc) {
-        // One scenario: instantiate once, share the estimator across all
-        // heuristics and trials (single thread => no data races).
-        const platform::Scenario scenario = platform::make_scenario(results.scenarios[sc]);
-        sched::Estimator estimator(scenario.platform, scenario.app, config.eps);
-        for (std::size_t h = 0; h < n_heur; ++h) {
-          for (int trial = 0; trial < config.trials; ++trial) {
-            const sim::SimulationResult r = run_trial(
-                scenario, estimator, results.heuristics[h], trial, run_options);
-            results.outcomes[h][sc][static_cast<std::size_t>(trial)] =
-                TrialOutcome{r.success, r.makespan};
-          }
-        }
-        const std::size_t d = ++done;
-        if (progress) progress(d, n_scen);
-      },
-      config.threads);
-
-  return results;
+  api::Session session;
+  api::AggregateSink aggregate;
+  session.run(to_spec(config), {&aggregate}, progress);
+  return std::move(aggregate).take();
 }
 
 }  // namespace tcgrid::expt

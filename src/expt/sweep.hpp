@@ -4,6 +4,12 @@
 // 10 random scenarios per cell, 10 trials per scenario. Bench binaries run
 // a structurally identical reduced sweep by default (see DESIGN.md §2) and
 // accept --full for the paper's exact scale.
+//
+// COMPATIBILITY ADAPTER: run_sweep is now a thin wrapper over the api::
+// facade (api::Session streaming into an api::AggregateSink). It produces
+// byte-identical results to the historical implementation. New code should
+// prefer api::Session directly — it streams outcomes to pluggable sinks
+// instead of materializing the outcomes[h][scenario][trial] tensor.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,10 @@
 #include "expt/metrics.hpp"
 #include "expt/runner.hpp"
 #include "platform/scenario.hpp"
+
+namespace tcgrid::api {
+struct ExperimentSpec;
+}
 
 namespace tcgrid::expt {
 
@@ -40,7 +50,14 @@ struct SweepResults {
   /// outcomes[h][scenario][trial]
   std::vector<std::vector<ScenarioOutcomes>> outcomes;
 
+  /// Index of `name` in `heuristics`. Contract: throws std::invalid_argument
+  /// (naming the heuristic) when `name` was not part of the sweep — callers
+  /// use the index to address `outcomes`, so a silent sentinel would turn a
+  /// typo into out-of-bounds access. Use try_heuristic_index to probe.
   [[nodiscard]] int heuristic_index(const std::string& name) const;
+
+  /// Non-throwing lookup: the index of `name`, or -1 if not in the sweep.
+  [[nodiscard]] int try_heuristic_index(const std::string& name) const noexcept;
 };
 
 /// Enumerate the scenario parameter grid of a config (cell-major order,
@@ -49,9 +66,16 @@ struct SweepResults {
 [[nodiscard]] std::vector<platform::ScenarioParams> scenario_grid(const SweepConfig& c);
 
 /// Run the sweep. `progress`, if given, is called after each completed
-/// scenario with (done, total) — it may be called from worker threads.
+/// scenario with (done, total). It may be called from worker threads, but
+/// calls are serialized by the underlying api::Session — no two invocations
+/// ever run concurrently, so unsynchronized callback state is safe.
+/// Heuristic names are validated up front: unknown names throw
+/// std::invalid_argument before any simulation starts.
 [[nodiscard]] SweepResults run_sweep(
     const SweepConfig& config,
     const std::function<void(std::size_t, std::size_t)>& progress = nullptr);
+
+/// The api::ExperimentSpec equivalent of a legacy SweepConfig.
+[[nodiscard]] api::ExperimentSpec to_spec(const SweepConfig& config);
 
 }  // namespace tcgrid::expt

@@ -1,0 +1,366 @@
+// Tests of the tcgrid::api experiment facade: paired-trial equivalence with
+// hand-wired Engine setup, streaming-sink correctness (CSV/JSONL round
+// trips), up-front validation, and the thread-safety contract of sinks and
+// progress callbacks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "expt/runner.hpp"
+#include "expt/sweep.hpp"
+#include "platform/availability.hpp"
+#include "sched/estimator.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace tcgrid::api {
+namespace {
+
+platform::ScenarioParams mini_params(std::uint64_t seed = 12) {
+  platform::ScenarioParams params;
+  params.m = 5;
+  params.ncom = 5;
+  params.wmin = 1;
+  params.seed = seed;
+  params.iterations = 3;
+  return params;
+}
+
+ExperimentSpec mini_spec() {
+  ExperimentSpec spec;
+  spec.grid.ms = {5};
+  spec.grid.ncoms = {5};
+  spec.grid.wmins = {1};
+  spec.grid.scenarios_per_cell = 2;
+  spec.grid.iterations = 3;
+  spec.trials = 2;
+  spec.heuristics = {"RANDOM", "IE", "Y-IE"};
+  spec.options.slot_cap = 100'000;
+  spec.options.threads = 1;
+  return spec;
+}
+
+void expect_identical(const sim::SimulationResult& a, const sim::SimulationResult& b) {
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.iterations_completed, b.iterations_completed);
+  EXPECT_EQ(a.total_restarts, b.total_restarts);
+  EXPECT_EQ(a.total_reconfigurations, b.total_reconfigurations);
+  EXPECT_EQ(a.idle_slots, b.idle_slots);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].start_slot, b.iterations[i].start_slot);
+    EXPECT_EQ(a.iterations[i].end_slot, b.iterations[i].end_slot);
+    EXPECT_EQ(a.iterations[i].comm_slots, b.iterations[i].comm_slots);
+    EXPECT_EQ(a.iterations[i].compute_slots, b.iterations[i].compute_slots);
+    EXPECT_EQ(a.iterations[i].suspended_slots, b.iterations[i].suspended_slots);
+    EXPECT_EQ(a.iterations[i].restarts, b.iterations[i].restarts);
+    EXPECT_EQ(a.iterations[i].reconfigurations, b.iterations[i].reconfigurations);
+  }
+}
+
+// ---------------------------------------------------------- equivalence ----
+
+// The facade must reproduce, byte for byte, what the manual wiring of
+// examples/quickstart.cpp (pre-facade) produced: scenario -> estimator ->
+// make_scheduler -> MarkovAvailability -> Engine.
+TEST(Session, TrialMatchesManualEngineWiring) {
+  const auto params = mini_params(7);
+  const auto scenario = platform::make_scenario(params);
+  sched::Estimator estimator(scenario.platform, scenario.app, 1e-6);
+
+  Options options;
+  options.slot_cap = 100'000;
+  Session session(options);
+
+  for (const char* name : {"RANDOM", "IE", "Y-IE", "P-IE"}) {
+    for (int trial = 0; trial < 2; ++trial) {
+      platform::MarkovAvailability availability(
+          scenario.platform, expt::trial_seed(scenario, trial),
+          platform::InitialStates::Stationary);
+      auto scheduler = sched::make_scheduler(
+          name, estimator,
+          util::derive_seed(params.seed, 2000 + static_cast<std::uint64_t>(trial)));
+      sim::EngineOptions engine_options;
+      engine_options.slot_cap = options.slot_cap;
+      sim::Engine engine(scenario.platform, scenario.app, availability, *scheduler,
+                         engine_options);
+      const sim::SimulationResult manual = engine.run();
+
+      const sim::SimulationResult facade = session.run_trial(params, name, trial);
+      SCOPED_TRACE(std::string(name) + " trial " + std::to_string(trial));
+      expect_identical(manual, facade);
+    }
+  }
+}
+
+// Session::run must match the legacy sweep path (expt::run_trial per
+// scenario/heuristic/trial, shared per-scenario estimator) exactly.
+TEST(Session, RunMatchesLegacyTrialLoop) {
+  const auto spec = mini_spec();
+  AggregateSink aggregate;
+  Session().run(spec, {&aggregate});
+  const auto& results = aggregate.results();
+
+  const auto scenarios = spec.scenarios();
+  expt::RunOptions legacy_options;
+  legacy_options.slot_cap = spec.options.slot_cap;
+  legacy_options.eps = spec.options.eps;
+  for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+    const auto scenario = platform::make_scenario(scenarios[sc]);
+    sched::Estimator estimator(scenario.platform, scenario.app, spec.options.eps);
+    for (std::size_t h = 0; h < spec.heuristics.size(); ++h) {
+      for (int trial = 0; trial < spec.trials; ++trial) {
+        const auto legacy = expt::run_trial(scenario, estimator, spec.heuristics[h],
+                                            trial, legacy_options);
+        const auto& got = results.outcomes[h][sc][static_cast<std::size_t>(trial)];
+        EXPECT_EQ(got.success, legacy.success);
+        EXPECT_EQ(got.makespan, legacy.makespan);
+      }
+    }
+  }
+}
+
+TEST(Session, ThreadCountDoesNotChangeResults) {
+  auto spec = mini_spec();
+  AggregateSink a1;
+  Session().run(spec, {&a1});
+  spec.options.threads = 4;
+  AggregateSink a4;
+  Session().run(spec, {&a4});
+  const auto& r1 = a1.results();
+  const auto& r4 = a4.results();
+  for (std::size_t h = 0; h < r1.outcomes.size(); ++h) {
+    for (std::size_t sc = 0; sc < r1.outcomes[h].size(); ++sc) {
+      for (std::size_t t = 0; t < r1.outcomes[h][sc].size(); ++t) {
+        EXPECT_EQ(r1.outcomes[h][sc][t].makespan, r4.outcomes[h][sc][t].makespan);
+      }
+    }
+  }
+}
+
+// Estimator reuse across trials/heuristics (the cache-warmth rule) must not
+// change decisions: a fresh session gives the same answer as a warmed one.
+TEST(Session, EstimatorCacheDoesNotChangeDecisions) {
+  const auto params = mini_params(31);
+  Options options;
+  options.slot_cap = 100'000;
+
+  Session warm(options);
+  (void)warm.run_trial(params, "IE", 0);      // warm the caches
+  (void)warm.run_trial(params, "Y-IE", 0);
+  const auto warmed = warm.run_trial(params, "Y-IE", 1);
+
+  Session cold(options);
+  const auto fresh = cold.run_trial(params, "Y-IE", 1);
+  expect_identical(warmed, fresh);
+}
+
+// ---------------------------------------------------------------- sinks ----
+
+TEST(Sinks, AggregateShapes) {
+  const auto spec = mini_spec();
+  AggregateSink aggregate;
+  const auto stats = Session().run(spec, {&aggregate});
+  EXPECT_EQ(stats.scenarios, 2u);
+  EXPECT_EQ(stats.rows, 3u * 2u * 2u);
+  const auto& r = aggregate.results();
+  ASSERT_EQ(r.heuristics.size(), 3u);
+  ASSERT_EQ(r.scenarios.size(), 2u);
+  ASSERT_EQ(r.outcomes.size(), 3u);
+  ASSERT_EQ(r.outcomes[0].size(), 2u);
+  ASSERT_EQ(r.outcomes[0][0].size(), 2u);
+  for (const auto& per_scenario : r.outcomes) {
+    for (const auto& trials : per_scenario) {
+      for (const auto& outcome : trials) EXPECT_GT(outcome.makespan, 0);
+    }
+  }
+}
+
+TEST(Sinks, CsvRoundTrip) {
+  const auto spec = mini_spec();
+  std::ostringstream out;
+  CsvSink csv(out);
+  AggregateSink aggregate;
+  Session().run(spec, {&csv, &aggregate});
+
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "heuristic,m,ncom,wmin,scenario_seed,trial,success,makespan,"
+            "restarts,reconfigs,idle_slots");
+
+  const auto& r = aggregate.results();
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    std::vector<std::string> fields;
+    std::istringstream fs(line);
+    std::string field;
+    while (std::getline(fs, field, ',')) fields.push_back(field);
+    ASSERT_EQ(fields.size(), 11u) << line;
+    const int h = r.heuristic_index(fields[0]);
+    ASSERT_GE(h, 0);
+    // Locate the scenario by its seed and check the streamed makespan
+    // against the aggregated tensor.
+    int sc = -1;
+    for (std::size_t i = 0; i < r.scenarios.size(); ++i) {
+      if (std::to_string(r.scenarios[i].seed) == fields[4]) sc = static_cast<int>(i);
+    }
+    ASSERT_GE(sc, 0) << line;
+    const int trial = std::stoi(fields[5]);
+    const auto& outcome = r.outcomes[static_cast<std::size_t>(h)]
+                                    [static_cast<std::size_t>(sc)]
+                                    [static_cast<std::size_t>(trial)];
+    EXPECT_EQ(std::to_string(outcome.makespan), fields[7]) << line;
+    EXPECT_EQ(outcome.success ? "1" : "0", fields[6]) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3u * 2u * 2u);
+}
+
+TEST(Sinks, JsonlRoundTrip) {
+  const auto spec = mini_spec();
+  std::ostringstream out;
+  JsonlSink jsonl(out);
+  AggregateSink aggregate;
+  Session().run(spec, {&jsonl, &aggregate});
+
+  const auto& r = aggregate.results();
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"heuristic\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"makespan\":"), std::string::npos);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3u * 2u * 2u);
+  // Spot-check one value end-to-end.
+  const std::string expected = "\"heuristic\":\"IE\",\"m\":5,\"ncom\":5,\"wmin\":1,"
+                               "\"scenario_seed\":" +
+                               std::to_string(r.scenarios[0].seed) + ",\"trial\":0";
+  EXPECT_NE(out.str().find(expected), std::string::npos);
+}
+
+TEST(Sinks, MultipleSinksSeeEveryRowOnce) {
+  struct CountingSink final : ResultSink {
+    std::set<std::tuple<std::size_t, std::size_t, int>> seen;
+    std::size_t begins = 0, finishes = 0;
+    bool in_consume = false;
+    void begin(const ExperimentSpec&, const std::vector<platform::ScenarioParams>&,
+               const std::vector<std::string>&) override {
+      ++begins;
+    }
+    void consume(const ResultRow& row) override {
+      // The serialization contract: never two concurrent consume calls.
+      ASSERT_FALSE(in_consume);
+      in_consume = true;
+      EXPECT_TRUE(seen.emplace(row.heuristic, row.scenario, row.trial).second);
+      in_consume = false;
+    }
+    void finish() override { ++finishes; }
+  };
+
+  auto spec = mini_spec();
+  spec.options.threads = 4;  // exercise the worker-thread path
+  CountingSink s1, s2;
+  Session().run(spec, {&s1, &s2});
+  for (const auto* s : {&s1, &s2}) {
+    EXPECT_EQ(s->begins, 1u);
+    EXPECT_EQ(s->finishes, 1u);
+    EXPECT_EQ(s->seen.size(), 3u * 2u * 2u);
+  }
+}
+
+TEST(Sinks, FileSinkOpenFailureThrows) {
+  // A sweep must not run for hours into a sink that silently discards rows.
+  EXPECT_THROW(CsvSink("/nonexistent-dir/out.csv"), std::runtime_error);
+  EXPECT_THROW(JsonlSink("/nonexistent-dir/out.jsonl"), std::runtime_error);
+}
+
+// ----------------------------------------------------------- validation ----
+
+TEST(Validation, UnknownHeuristicFailsUpFront) {
+  struct NeverSink final : ResultSink {
+    bool touched = false;
+    void begin(const ExperimentSpec&, const std::vector<platform::ScenarioParams>&,
+               const std::vector<std::string>&) override {
+      touched = true;
+    }
+    void consume(const ResultRow&) override { touched = true; }
+  };
+
+  auto spec = mini_spec();
+  spec.heuristics = {"IE", "NOT-A-HEURISTIC"};
+  NeverSink sink;
+  Session session;
+  EXPECT_THROW(session.run(spec, {&sink}), std::invalid_argument);
+  EXPECT_FALSE(sink.touched);  // validation precedes any sink/simulation work
+}
+
+TEST(Validation, SpecFieldChecks) {
+  auto spec = mini_spec();
+  spec.trials = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = mini_spec();
+  spec.grid.wmins.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = mini_spec();
+  spec.options.slot_cap = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = mini_spec();
+  spec.options.eps = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(mini_spec().validate());
+}
+
+TEST(Validation, RunTrialRejectsUnknownName) {
+  Session session;
+  EXPECT_THROW((void)session.run_trial(mini_params(), "nope", 0),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- spec resolution ----
+
+TEST(Spec, ExplicitScenariosReplaceGrid) {
+  ExperimentSpec spec;
+  spec.explicit_scenarios = {mini_params(1), mini_params(2), mini_params(3)};
+  EXPECT_EQ(spec.scenarios().size(), 3u);
+  EXPECT_EQ(spec.scenarios()[1].seed, 2u);
+}
+
+TEST(Spec, GridMatchesLegacyScenarioGrid) {
+  expt::SweepConfig config;
+  config.ms = {5, 10};
+  config.ncoms = {5, 20};
+  config.wmins = {1, 3};
+  config.scenarios_per_cell = 3;
+  const auto legacy = expt::scenario_grid(config);
+  const auto spec_grid = expt::to_spec(config).scenarios();
+  ASSERT_EQ(legacy.size(), spec_grid.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].seed, spec_grid[i].seed);
+    EXPECT_EQ(legacy[i].m, spec_grid[i].m);
+    EXPECT_EQ(legacy[i].ncom, spec_grid[i].ncom);
+    EXPECT_EQ(legacy[i].wmin, spec_grid[i].wmin);
+  }
+}
+
+TEST(Spec, DefaultHeuristicsAreThePapers17) {
+  ExperimentSpec spec;
+  EXPECT_EQ(spec.resolved_heuristics().size(), 17u);
+}
+
+}  // namespace
+}  // namespace tcgrid::api

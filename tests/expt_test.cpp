@@ -235,7 +235,19 @@ TEST(Sweep, HeuristicIndexLookup) {
   auto config = mini_config();
   auto r = run_sweep(config);
   EXPECT_EQ(r.heuristic_index("IE"), 1);
+  // Contract: unknown names throw (the index addresses `outcomes`, so a
+  // sentinel would invite out-of-bounds use); try_heuristic_index probes.
   EXPECT_THROW((void)r.heuristic_index("nope"), std::invalid_argument);
+  EXPECT_EQ(r.try_heuristic_index("Y-IE"), 2);
+  EXPECT_EQ(r.try_heuristic_index("nope"), -1);
+}
+
+TEST(Sweep, UnknownHeuristicNameFailsBeforeRunning) {
+  auto config = mini_config();
+  config.heuristics = {"IE", "TYPO-IE"};
+  // Validated up front by the api facade underneath run_sweep — the sweep
+  // must throw before simulating anything, not die mid-run.
+  EXPECT_THROW((void)run_sweep(config), std::invalid_argument);
 }
 
 // --------------------------------------------------------------- report ----
