@@ -18,8 +18,7 @@
 #include "api/api.hpp"
 #include "expt/runner.hpp"
 #include "platform/scenario.hpp"
-#include "platform/semi_markov.hpp"
-#include "platform/trace_io.hpp"
+#include "scen/scen.hpp"
 #include "sched/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -27,28 +26,6 @@
 namespace {
 
 using namespace tcgrid;
-
-/// Semi-Markov truth matched to a Markov chain: same embedded jump
-/// distribution, Weibull sojourns with the same mean holding time.
-platform::SemiMarkovParams matched_semi_markov(const markov::TransitionMatrix& m,
-                                               double shape) {
-  platform::SemiMarkovParams params;
-  params.shape = {shape, shape, shape};
-  const double gamma = std::tgamma(1.0 + 1.0 / shape);
-  for (int i = 0; i < 3; ++i) {
-    const auto from = static_cast<markov::State>(i);
-    const double stay = m.prob(from, from);
-    const double mean_sojourn = 1.0 / std::max(1e-9, 1.0 - stay);
-    params.scale[static_cast<std::size_t>(i)] = mean_sojourn / gamma;
-    const double leave = std::max(1e-12, 1.0 - stay);
-    for (int j = 0; j < 3; ++j) {
-      const auto to = static_cast<markov::State>(j);
-      params.jump[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
-          i == j ? 0.0 : m.prob(from, to) / leave;
-    }
-  }
-  return params;
-}
 
 long run_with(const platform::Platform& real, const model::Application& app,
               platform::AvailabilitySource& avail, const sched::Estimator& est,
@@ -90,22 +67,14 @@ int main(int argc, char** argv) {
     // World A estimator: the true Markov model.
     sched::Estimator true_est(scenario.platform, scenario.app, 1e-6);
 
-    // Semi-Markov truth for World B, with the per-processor parameters.
-    std::vector<platform::SemiMarkovParams> sm;
-    for (const auto& pr : scenario.platform.procs()) {
-      sm.push_back(matched_semi_markov(pr.availability, shape));
-    }
+    // Semi-Markov truth for World B: the weibull family (Weibull sojourns
+    // matched to the platform's chains) — shared with bench_scen.
+    const auto truth_family =
+        scen::make_weibull_family("weibull", scen::WeibullFamilyParams{shape});
 
     // Fit a "flawed" Markov model from a recorded training trace.
-    platform::SemiMarkovAvailability train_src(sm, params.seed ^ 0xbeef);
-    const auto training = platform::record(train_src, train_slots);
-    std::vector<platform::Processor> believed = {scenario.platform.procs().begin(),
-                                                 scenario.platform.procs().end()};
-    for (int q = 0; q < scenario.platform.size(); ++q) {
-      believed[static_cast<std::size_t>(q)].availability =
-          platform::fit_transition_matrix(training, q);
-    }
-    platform::Platform believed_platform(std::move(believed), params.ncom);
+    const auto believed_platform = scen::fit_markov_platform(
+        scenario.platform, *truth_family, train_slots, params.seed ^ 0xbeef);
     sched::Estimator fitted_est(believed_platform, scenario.app, 1e-6);
 
     for (int trial = 0; trial < trials; ++trial) {
@@ -120,9 +89,10 @@ int main(int argc, char** argv) {
           ++count_a[h];
         }
         // World B: semi-Markov availability, fitted (wrong) model.
-        platform::SemiMarkovAvailability avail_b(
-            sm, expt::trial_seed(scenario, trial));
-        const long mb = run_with(scenario.platform, scenario.app, avail_b,
+        auto avail_b = truth_family->make_source(scenario.platform,
+                                                 expt::trial_seed(scenario, trial),
+                                                 platform::InitialStates::Stationary);
+        const long mb = run_with(scenario.platform, scenario.app, *avail_b,
                                  fitted_est, heuristics[h], cap);
         if (mb < cap) {
           sum_b[h] += static_cast<double>(mb);

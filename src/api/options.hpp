@@ -21,6 +21,8 @@ struct Options {
   long slot_cap = 1'000'000;  ///< fail a run when its makespan reaches this
   sim::CommOrder comm_order = sim::CommOrder::Enrollment;  ///< master service order
   bool record_trace = false;  ///< keep per-slot activity traces (costly)
+  long avail_block = 256;     ///< slots per availability fill_block pull; any
+                              ///< value >= 1 yields identical simulations
 
   // --- estimator -----------------------------------------------------------
   double eps = 1e-6;  ///< truncation precision of the §V series
@@ -39,6 +41,7 @@ struct Options {
     e.slot_cap = slot_cap;
     e.record_trace = record_trace || force_trace;
     e.comm_order = comm_order;
+    e.avail_block = avail_block;
     return e;
   }
 };

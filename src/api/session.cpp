@@ -11,8 +11,10 @@ namespace tcgrid::api {
 
 Session::Session(Options options) : options_(options) {}
 
-Session::ScenarioEntry::ScenarioEntry(const platform::ScenarioParams& params, double eps)
-    : scenario(platform::make_scenario(params)),
+Session::ScenarioEntry::ScenarioEntry(std::shared_ptr<const scen::PlatformFamily> fam,
+                                      const platform::ScenarioParams& params, double eps)
+    : family(std::move(fam)),
+      scenario(family->make(params)),
       estimator(scenario.platform, scenario.app, eps) {}
 
 Session::ThreadCache& Session::this_thread_cache() {
@@ -22,39 +24,44 @@ Session::ThreadCache& Session::this_thread_cache() {
   return caches_[std::this_thread::get_id()];
 }
 
-Session::ScenarioEntry& Session::entry_for(const platform::ScenarioParams& params) {
+Session::ScenarioEntry& Session::entry_for(const scen::ScenarioSpace& space,
+                                           const platform::ScenarioParams& params) {
   ThreadCache& cache = this_thread_cache();
-  const Key key{params.seed, params.m, params.ncom, params.wmin, params.p,
-                params.iterations};
+  auto family = scen::platform_family(space.platform);
+  const Key key{family.get(),  params.seed, params.m, params.ncom,
+                params.wmin,   params.p,    params.iterations};
   auto it = cache.find(key);
   if (it == cache.end()) {
-    it = cache.emplace(key, std::make_unique<ScenarioEntry>(params, options_.eps)).first;
+    it = cache.emplace(key, std::make_unique<ScenarioEntry>(std::move(family), params,
+                                                            options_.eps))
+             .first;
   }
   return *it->second;
 }
 
 const platform::Scenario& Session::scenario_for(const platform::ScenarioParams& params) {
-  return entry_for(params).scenario;
+  return entry_for(scen::ScenarioSpace{}, params).scenario;
 }
 
 const sched::Estimator& Session::estimator_for(const platform::ScenarioParams& params) {
-  return entry_for(params).estimator;
+  return entry_for(scen::ScenarioSpace{}, params).estimator;
 }
 
 sim::SimulationResult Session::run_one(const Options& options,
+                                       const scen::AvailabilityFamily& family,
                                        const platform::Scenario& scenario,
                                        const sched::Estimator& estimator,
                                        std::string_view heuristic, int trial,
                                        sim::ActivityTrace* trace) {
   // Availability and RANDOM-scheduler streams use the exact derivations of
-  // expt::run_trial, so facade runs are byte-identical to legacy runs.
-  platform::MarkovAvailability availability(scenario.platform,
-                                            expt::trial_seed(scenario, trial),
-                                            options.init);
+  // expt::run_trial, so facade runs in the default space are byte-identical
+  // to legacy runs; other spaces swap only the availability law.
+  const auto availability = family.make_source(
+      scenario.platform, expt::trial_seed(scenario, trial), options.init);
   auto scheduler = sched::make_scheduler(
       heuristic, estimator,
       util::derive_seed(scenario.params.seed, 2000 + static_cast<std::uint64_t>(trial)));
-  sim::Engine engine(scenario.platform, scenario.app, availability, *scheduler,
+  sim::Engine engine(scenario.platform, scenario.app, *availability, *scheduler,
                      options.engine(trace != nullptr));
   sim::SimulationResult result = engine.run();
   if (trace != nullptr) *trace = engine.trace();
@@ -64,12 +71,21 @@ sim::SimulationResult Session::run_one(const Options& options,
 sim::SimulationResult Session::run_trial(const platform::ScenarioParams& params,
                                          std::string_view heuristic, int trial,
                                          sim::ActivityTrace* trace) {
+  return run_trial(scen::ScenarioSpace{}, params, heuristic, trial, trace);
+}
+
+sim::SimulationResult Session::run_trial(const scen::ScenarioSpace& space,
+                                         const platform::ScenarioParams& params,
+                                         std::string_view heuristic, int trial,
+                                         sim::ActivityTrace* trace) {
   if (!sched::is_heuristic_name(heuristic)) {
     throw std::invalid_argument("Session::run_trial: unknown heuristic '" +
                                 std::string(heuristic) + "'");
   }
-  const ScenarioEntry& entry = entry_for(params);
-  return run_one(options_, entry.scenario, entry.estimator, heuristic, trial, trace);
+  const auto availability = scen::availability_family(space.availability);
+  const ScenarioEntry& entry = entry_for(space, params);
+  return run_one(options_, *availability, entry.scenario, entry.estimator, heuristic,
+                 trial, trace);
 }
 
 sim::SimulationResult Session::run_custom(const platform::Platform& platform,
@@ -101,6 +117,11 @@ Session::RunStats Session::run(const ExperimentSpec& spec,
   const std::vector<platform::ScenarioParams> scenarios = spec.scenarios();
   const std::vector<std::string>& heuristics = spec.resolved_heuristics();
   const Options& options = spec.options;
+  // Resolve the space once for the whole sweep: workers never touch the
+  // registry mutex, and a mid-sweep re-registration cannot split the sweep
+  // across two worlds.
+  const auto avail_family = scen::availability_family(spec.scenario_space.availability);
+  const auto plat_family = scen::platform_family(spec.scenario_space.platform);
 
   for (ResultSink* sink : sinks) sink->begin(spec, scenarios, heuristics);
 
@@ -119,17 +140,19 @@ Session::RunStats Session::run(const ExperimentSpec& spec,
         // (cache warmth) without locking. Sweep scenarios are deliberately
         // NOT inserted into the per-thread caches: a full sweep visits each
         // scenario once, so caching would only grow memory.
-        const platform::Scenario scenario = platform::make_scenario(scenarios[sc]);
+        const platform::Scenario scenario = plat_family->make(scenarios[sc]);
         const sched::Estimator estimator(scenario.platform, scenario.app, options.eps);
         for (std::size_t h = 0; h < heuristics.size(); ++h) {
           for (int trial = 0; trial < spec.trials; ++trial) {
-            const sim::SimulationResult result =
-                run_one(options, scenario, estimator, heuristics[h], trial, nullptr);
+            const sim::SimulationResult result = run_one(
+                options, *avail_family, scenario, estimator, heuristics[h], trial,
+                nullptr);
             ResultRow row;
             row.heuristic = h;
             row.scenario = sc;
             row.trial = trial;
             row.name = &heuristics[h];
+            row.family = &spec.scenario_space.availability;
             row.params = &scenarios[sc];
             row.result = &result;
             {

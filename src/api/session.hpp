@@ -41,6 +41,7 @@
 #include "api/spec.hpp"
 #include "platform/availability.hpp"
 #include "platform/scenario.hpp"
+#include "scen/space.hpp"
 #include "sched/estimator.hpp"
 #include "sim/events.hpp"
 #include "sim/scheduler.hpp"
@@ -73,16 +74,31 @@ class Session {
                const Progress& progress = nullptr);
 
   /// One paired trial: the availability realization is a pure function of
-  /// (scenario seed, trial), so every heuristic run with the same arguments
-  /// faces the identical availability (the paper's paired comparison).
-  /// The scenario and its estimator are cached per calling thread. If
-  /// `trace` is non-null the engine records the activity trace into it.
+  /// (scenario space, scenario seed, trial), so every heuristic run with the
+  /// same arguments faces the identical availability (the paper's paired
+  /// comparison). The scenario and its estimator are cached per calling
+  /// thread. If `trace` is non-null the engine records the activity trace
+  /// into it.
   [[nodiscard]] sim::SimulationResult run_trial(const platform::ScenarioParams& params,
                                                 std::string_view heuristic, int trial,
                                                 sim::ActivityTrace* trace = nullptr);
 
+  /// run_trial in an explicit scenario space: the platform comes from the
+  /// space's platform family, the availability stream from its availability
+  /// family (both resolved through the scen registry), while scheduler
+  /// seeding and pairing are unchanged. The default space reproduces the
+  /// two-argument overload bit for bit.
+  [[nodiscard]] sim::SimulationResult run_trial(const scen::ScenarioSpace& space,
+                                                const platform::ScenarioParams& params,
+                                                std::string_view heuristic, int trial,
+                                                sim::ActivityTrace* trace = nullptr);
+
   /// One run with a caller-supplied availability source and scheduler,
-  /// using the session options for the engine knobs.
+  /// using the session options for the engine knobs. The engine consumes
+  /// the source in avail_block prefetch batches, so after the run the
+  /// source's position is up to avail_block - 1 slots past the last
+  /// simulated slot — construct a fresh source rather than reusing one to
+  /// continue its stream.
   [[nodiscard]] sim::SimulationResult run_custom(const platform::Platform& platform,
                                                  const model::Application& app,
                                                  platform::AvailabilitySource& availability,
@@ -110,22 +126,38 @@ class Session {
  private:
   /// A scenario instantiated together with its estimator (the estimator
   /// holds references into the scenario, so they live and die together).
+  /// Holds the platform family it was built by: the cache key uses the
+  /// family's object identity, so the entry must keep that object alive
+  /// (otherwise a later family could be allocated at the same address and
+  /// alias the key).
   struct ScenarioEntry {
-    explicit ScenarioEntry(const platform::ScenarioParams& params, double eps);
+    ScenarioEntry(std::shared_ptr<const scen::PlatformFamily> family,
+                  const platform::ScenarioParams& params, double eps);
+    std::shared_ptr<const scen::PlatformFamily> family;
     platform::Scenario scenario;
     sched::Estimator estimator;
   };
-  /// Scenario-identity key (every field that affects make_scenario).
-  using Key = std::tuple<std::uint64_t, int, int, long, int, int>;
+  /// Scenario-identity key: the platform family INSTANCE plus every
+  /// ScenarioParams field that affects its make(). Object identity, not the
+  /// registry name: re-registering a name replaces the family, and a cached
+  /// scenario from the old binding must not be served for the new one. (The
+  /// availability family never affects the scenario, only the per-trial
+  /// stream, so it is not part of the key.)
+  using Key =
+      std::tuple<const scen::PlatformFamily*, std::uint64_t, int, int, long, int, int>;
   using ThreadCache = std::map<Key, std::unique_ptr<ScenarioEntry>>;
 
-  [[nodiscard]] ScenarioEntry& entry_for(const platform::ScenarioParams& params);
+  [[nodiscard]] ScenarioEntry& entry_for(const scen::ScenarioSpace& space,
+                                         const platform::ScenarioParams& params);
   [[nodiscard]] ThreadCache& this_thread_cache();
 
+  /// The availability family arrives pre-resolved: Session::run resolves it
+  /// once per sweep (workers stay off the registry mutex), run_trial once
+  /// per call (so name re-binding is honored between calls).
   [[nodiscard]] static sim::SimulationResult run_one(
-      const Options& options, const platform::Scenario& scenario,
-      const sched::Estimator& estimator, std::string_view heuristic, int trial,
-      sim::ActivityTrace* trace);
+      const Options& options, const scen::AvailabilityFamily& availability,
+      const platform::Scenario& scenario, const sched::Estimator& estimator,
+      std::string_view heuristic, int trial, sim::ActivityTrace* trace);
 
   Options options_;
 

@@ -42,15 +42,19 @@ void AggregateSink::consume(const ResultRow& row) {
 
 const std::vector<std::string>& CsvSink::header() {
   static const std::vector<std::string> h = {
-      "heuristic", "m",       "ncom",     "wmin",     "scenario_seed",
-      "trial",     "success", "makespan", "restarts", "reconfigs",
-      "idle_slots"};
+      "heuristic", "family",   "m",        "ncom",      "wmin",
+      "scenario_seed", "trial", "success", "makespan",  "restarts",
+      "reconfigs", "idle_slots"};
   return h;
 }
 
 void CsvSink::begin(const ExperimentSpec&,
                     const std::vector<platform::ScenarioParams>&,
                     const std::vector<std::string>&) {
+  // One header even when the sink accumulates several runs (e.g. a sweep
+  // per availability family streaming into one file).
+  if (header_written_) return;
+  header_written_ = true;
   bool first = true;
   for (const auto& col : header()) {
     *out_ << (first ? "" : ",") << col;
@@ -62,10 +66,15 @@ void CsvSink::begin(const ExperimentSpec&,
 void CsvSink::consume(const ResultRow& row) {
   const auto& p = *row.params;
   const auto& r = *row.result;
-  *out_ << util::CsvWriter::escape(*row.name) << ',' << p.m << ',' << p.ncom << ','
-        << p.wmin << ',' << p.seed << ',' << row.trial << ','
-        << (r.success ? '1' : '0') << ',' << r.makespan << ',' << r.total_restarts
-        << ',' << r.total_reconfigurations << ',' << r.idle_slots << '\n';
+  // Both string fields pass through RFC-4180 quoting: registry names are
+  // caller-chosen, so commas, quotes and newlines must round-trip, not
+  // corrupt the stream.
+  *out_ << util::CsvWriter::escape(*row.name) << ','
+        << util::CsvWriter::escape(row.family != nullptr ? *row.family : std::string())
+        << ',' << p.m << ',' << p.ncom << ',' << p.wmin << ',' << p.seed << ','
+        << row.trial << ',' << (r.success ? '1' : '0') << ',' << r.makespan << ','
+        << r.total_restarts << ',' << r.total_reconfigurations << ',' << r.idle_slots
+        << '\n';
 }
 
 void CsvSink::finish() {
@@ -77,17 +86,36 @@ void CsvSink::finish() {
 
 // -------------------------------------------------------------- JsonlSink ----
 
+namespace {
+
+// Registry names are caller-chosen strings; escape everything JSON requires
+// (quotes, backslashes, control characters) so no name can corrupt the
+// stream.
+void write_json_string(std::ostream& out, const std::string& s) {
+  static const char* hex = "0123456789abcdef";
+  out << '"';
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') out << '\\' << c;
+    else if (c == '\n') out << "\\n";
+    else if (c == '\r') out << "\\r";
+    else if (c == '\t') out << "\\t";
+    else if (u < 0x20) out << "\\u00" << hex[u >> 4] << hex[u & 0xf];
+    else out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
 void JsonlSink::consume(const ResultRow& row) {
   const auto& p = *row.params;
   const auto& r = *row.result;
-  // Heuristic names are registry identifiers ([A-Z-]), but escape defensively
-  // so a future name cannot corrupt the stream.
-  *out_ << R"({"heuristic":")";
-  for (char c : *row.name) {
-    if (c == '"' || c == '\\') *out_ << '\\';
-    *out_ << c;
-  }
-  *out_ << R"(","m":)" << p.m << R"(,"ncom":)" << p.ncom << R"(,"wmin":)" << p.wmin
+  *out_ << R"({"heuristic":)";
+  write_json_string(*out_, *row.name);
+  *out_ << R"(,"family":)";
+  write_json_string(*out_, row.family != nullptr ? *row.family : std::string());
+  *out_ << R"(,"m":)" << p.m << R"(,"ncom":)" << p.ncom << R"(,"wmin":)" << p.wmin
         << R"(,"scenario_seed":)" << p.seed << R"(,"trial":)" << row.trial
         << R"(,"success":)" << (r.success ? "true" : "false") << R"(,"makespan":)"
         << r.makespan << R"(,"iterations":)" << r.iterations_completed

@@ -47,6 +47,7 @@ struct ResultRow {
   std::size_t scenario = 0;   ///< index into the spec's scenario population
   int trial = 0;
   const std::string* name = nullptr;              ///< heuristic name
+  const std::string* family = nullptr;            ///< availability-family name
   const platform::ScenarioParams* params = nullptr;  ///< scenario identity
   const sim::SimulationResult* result = nullptr;  ///< full simulation outcome
 };
@@ -110,6 +111,7 @@ class CsvSink final : public ResultSink {
  private:
   std::ofstream file_;
   std::ostream* out_;
+  bool header_written_ = false;  ///< one header even across several runs
 };
 
 /// Streams one JSON object per line per trial — the shape sharding and

@@ -9,9 +9,12 @@ namespace tcgrid::api {
 
 std::vector<platform::ScenarioParams> ExperimentSpec::scenarios() const {
   if (!explicit_scenarios.empty()) return explicit_scenarios;
-  // Cell-major enumeration with seeds derived as derive_seed(seed,
-  // cell * 1000 + s). This is the exact derivation the legacy
-  // expt::scenario_grid used, so sweeps keep their historical seeds.
+  // Cell-major enumeration. Seeds mix (cell, s) through two chained
+  // SplitMix64 derivations (util::derive_seed2): distinct cells own disjoint
+  // scenario-seed streams by construction. The historical additive scheme
+  // (derive_seed(seed, cell * 1000 + s)) collided across cells whenever
+  // scenarios_per_cell exceeded 1000 — cell c's scenario 1000 WAS cell
+  // (c+1)'s scenario 0, silently duplicating platforms across cells.
   std::vector<platform::ScenarioParams> out;
   out.reserve(grid.ms.size() * grid.ncoms.size() * grid.wmins.size() *
               static_cast<std::size_t>(grid.scenarios_per_cell));
@@ -26,8 +29,8 @@ std::vector<platform::ScenarioParams> ExperimentSpec::scenarios() const {
           params.wmin = wmin;
           params.p = grid.p;
           params.iterations = grid.iterations;
-          params.seed = util::derive_seed(options.seed,
-                                          cell * 1000 + static_cast<std::uint64_t>(s));
+          params.seed =
+              util::derive_seed2(options.seed, cell, static_cast<std::uint64_t>(s));
           out.push_back(params);
         }
         ++cell;
@@ -49,6 +52,7 @@ void ExperimentSpec::validate() const {
                                   "extension_heuristic_names)");
     }
   }
+  scenario_space.validate();
   if (trials <= 0) throw std::invalid_argument("ExperimentSpec: trials must be >= 1");
   if (explicit_scenarios.empty()) {
     if (grid.ms.empty() || grid.ncoms.empty() || grid.wmins.empty() ||
@@ -58,6 +62,11 @@ void ExperimentSpec::validate() const {
   }
   if (options.slot_cap <= 0) {
     throw std::invalid_argument("ExperimentSpec: slot_cap must be >= 1");
+  }
+  if (options.avail_block <= 0) {
+    // Catch it here: the engine's own check would throw inside a worker
+    // task, which terminates the process (see util/thread_pool.hpp).
+    throw std::invalid_argument("ExperimentSpec: avail_block must be >= 1");
   }
   if (options.eps <= 0.0) {
     throw std::invalid_argument("ExperimentSpec: eps must be > 0");

@@ -1,9 +1,11 @@
 // Declarative description of an experiment: what to run, not how.
 //
 // An ExperimentSpec names a scenario population (either the paper's factorial
-// grid or an explicit scenario list), a heuristic set, a trial count and one
-// api::Options block. A Session turns the spec into simulations; ResultSinks
-// receive the outcomes. New workloads are a spec, not 100 lines of plumbing.
+// grid or an explicit scenario list), the scenario space it lives in (which
+// availability/platform families, by registry name), a heuristic set, a
+// trial count and one api::Options block. A Session turns the spec into
+// simulations; ResultSinks receive the outcomes. New workloads are a spec,
+// not 100 lines of plumbing.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,7 @@
 
 #include "api/options.hpp"
 #include "platform/scenario.hpp"
+#include "scen/space.hpp"
 
 namespace tcgrid::api {
 
@@ -31,6 +34,13 @@ struct ScenarioGrid {
 struct ExperimentSpec {
   /// Factorial grid, used when `explicit_scenarios` is empty.
   ScenarioGrid grid;
+
+  /// Which world the scenario population lives in (family registry names,
+  /// see scen/scen.hpp). The default is the paper's world: platform family
+  /// "paper" and availability family "markov", which reproduces the plain
+  /// ScenarioGrid sweep bit for bit. Scenario seeds are space-independent,
+  /// so sweeps over several spaces are paired at the platform level.
+  scen::ScenarioSpace scenario_space;
 
   /// Explicit scenario list; when non-empty it replaces the grid entirely.
   std::vector<platform::ScenarioParams> explicit_scenarios;

@@ -1,33 +1,73 @@
 #include "platform/availability.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tcgrid::platform {
 
-MarkovAvailability::MarkovAvailability(const Platform& platform, std::uint64_t seed,
-                                       InitialStates init)
-    : platform_(platform), rng_(seed) {
-  states_.resize(static_cast<std::size_t>(platform.size()));
+StepCuts step_cuts(const markov::TransitionMatrix& m) {
+  StepCuts cuts;
+  for (std::size_t from = 0; from < markov::kNumStates; ++from) {
+    const auto f = static_cast<markov::State>(from);
+    const double pu = m.prob(f, markov::State::Up);
+    // The second cut uses the same one-time sum markov::step computes per
+    // call, so the double it searches against is the identical IEEE value.
+    cuts[from][0] = util::uniform01_cut(pu);
+    cuts[from][1] = util::uniform01_cut(pu + m.prob(f, markov::State::Reclaimed));
+  }
+  return cuts;
+}
+
+std::vector<markov::State> sample_initial_states(const Platform& platform,
+                                                 util::Rng& rng, InitialStates init) {
+  std::vector<markov::State> states(static_cast<std::size_t>(platform.size()));
   for (int q = 0; q < platform.size(); ++q) {
     if (init == InitialStates::AllUp) {
-      states_[static_cast<std::size_t>(q)] = markov::State::Up;
+      states[static_cast<std::size_t>(q)] = markov::State::Up;
       // Consume one draw anyway so both modes use identical stream layouts.
-      (void)rng_.uniform01();
+      (void)rng.uniform01();
       continue;
     }
     const auto pi = platform.proc(q).availability.stationary();
-    const double u = rng_.uniform01();
+    const double u = rng.uniform01();
     markov::State s = markov::State::Down;
     if (u < pi[0]) s = markov::State::Up;
     else if (u < pi[0] + pi[1]) s = markov::State::Reclaimed;
-    states_[static_cast<std::size_t>(q)] = s;
+    states[static_cast<std::size_t>(q)] = s;
   }
+  return states;
+}
+
+MarkovAvailability::MarkovAvailability(const Platform& platform, std::uint64_t seed,
+                                       InitialStates init)
+    : platform_(platform), rng_(seed) {
+  cuts_.reserve(static_cast<std::size_t>(platform.size()));
+  for (int q = 0; q < platform.size(); ++q) {
+    cuts_.push_back(step_cuts(platform.proc(q).availability));
+  }
+  states_ = sample_initial_states(platform, rng_, init);
 }
 
 void MarkovAvailability::advance() {
   for (int q = 0; q < platform_.size(); ++q) {
     auto& s = states_[static_cast<std::size_t>(q)];
     s = markov::step(platform_.proc(q).availability, s, rng_);
+  }
+}
+
+void MarkovAvailability::fill_block(markov::State* buf, long slots) {
+  const std::size_t p = states_.size();
+  auto& engine = rng_.engine();
+  for (long t = 0; t < slots; ++t) {
+    std::copy_n(states_.data(), p, buf);
+    buf += p;
+    for (std::size_t q = 0; q < p; ++q) {
+      const auto& row = cuts_[q][static_cast<std::size_t>(states_[q])];
+      const std::uint64_t x = std::min(engine(), util::kU01Top);
+      states_[q] = x < row[0] ? markov::State::Up
+                 : x < row[1] ? markov::State::Reclaimed
+                              : markov::State::Down;
+    }
   }
 }
 

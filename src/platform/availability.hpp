@@ -1,12 +1,15 @@
 // Sources of per-slot processor availability.
 //
-// The engine pulls states one slot at a time through the AvailabilitySource
-// interface. The Markov implementation draws exactly one uniform per
-// processor per slot in processor order, so a realization is a pure function
-// of its seed — every heuristic evaluated on the same trial sees the same
-// availability (paired comparisons, as in the paper's methodology).
+// The engine pulls states through the AvailabilitySource interface, either
+// one slot at a time (state/advance) or in dense blocks (fill_block — the
+// fast path, see DESIGN.md §7). The Markov implementation draws exactly one
+// uniform per processor per slot in processor order, so a realization is a
+// pure function of its seed — every heuristic evaluated on the same trial
+// sees the same availability (paired comparisons, as in the paper's
+// methodology), and the per-slot and block paths yield identical timelines.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -30,6 +33,26 @@ class AvailabilitySource {
 
   /// Advance to the next slot.
   virtual void advance() = 0;
+
+  /// Block-stepping contract: write the states of the next `slots` slots
+  /// (starting with the CURRENT one) into `buf`, row-major [slot][proc] with
+  /// size() states per row, leaving the source positioned `slots` slots
+  /// further on. Semantically identical to
+  ///
+  ///   for each slot: { for each q: *buf++ = state(q); } advance();
+  ///
+  /// which is exactly what this default does. Stochastic families override
+  /// it with a tight loop that consumes the SAME random draws in the SAME
+  /// order, so a realization never depends on how it was pulled; the engine
+  /// consumes availability through this method to amortize the per-slot
+  /// virtual dispatch (one call per block instead of size()+1 per slot).
+  virtual void fill_block(markov::State* buf, long slots) {
+    const int p = size();
+    for (long t = 0; t < slots; ++t) {
+      for (int q = 0; q < p; ++q) *buf++ = state(q);
+      advance();
+    }
+  }
 };
 
 /// How MarkovAvailability chooses states for slot 0.
@@ -37,6 +60,25 @@ enum class InitialStates {
   AllUp,       ///< every processor starts UP
   Stationary,  ///< sampled from each chain's stationary distribution
 };
+
+/// Slot-0 states for every processor of `platform`, consuming exactly one
+/// uniform01 draw per processor in processor order in BOTH modes (identical
+/// stream layout, so sources sharing a seed stay paired whatever the mode).
+/// Shared by every chain-based source; cross-source bit-identity (e.g. the
+/// cyclostationary family with night == day degenerating to the Markov
+/// family) depends on this being the single implementation.
+[[nodiscard]] std::vector<markov::State> sample_initial_states(const Platform& platform,
+                                                               util::Rng& rng,
+                                                               InitialStates init);
+
+/// Per-processor integer cut points for one chain row: a draw x steps to UP
+/// when min(x, kU01Top) < cut[0], to RECLAIMED when < cut[1], else to DOWN —
+/// the exact integer form of markov::step's double comparisons (see
+/// util::uniform01_cut).
+using StepCuts = std::array<std::array<std::uint64_t, 2>, markov::kNumStates>;
+
+/// Cut points equivalent to stepping `m` via markov::step.
+[[nodiscard]] StepCuts step_cuts(const markov::TransitionMatrix& m);
 
 /// Lazy sampler of the paper's independent per-processor Markov chains.
 class MarkovAvailability final : public AvailabilitySource {
@@ -50,10 +92,16 @@ class MarkovAvailability final : public AvailabilitySource {
   }
   void advance() override;
 
+  /// Fast path: steps every chain through precomputed integer cut points
+  /// (one raw engine draw + two compares per processor-slot, no virtual
+  /// dispatch). Bit-identical to advance()'s markov::step reference path.
+  void fill_block(markov::State* buf, long slots) override;
+
  private:
   const Platform& platform_;
   util::Rng rng_;
   std::vector<markov::State> states_;
+  std::vector<StepCuts> cuts_;  ///< per-processor, aligned with states_
 };
 
 /// Fixed, scripted availability (used by tests and the Figure 1 example).

@@ -1,0 +1,71 @@
+#include "platform/cyclostationary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcgrid::platform {
+
+markov::TransitionMatrix scale_departures(const markov::TransitionMatrix& m,
+                                          double calm) {
+  if (calm < 0.0) throw std::invalid_argument("scale_departures: calm < 0");
+  std::array<std::array<double, 3>, 3> p{};
+  for (std::size_t i = 0; i < markov::kNumStates; ++i) {
+    const auto from = static_cast<markov::State>(i);
+    double leave = 0.0;
+    for (std::size_t j = 0; j < markov::kNumStates; ++j) {
+      if (j == i) continue;
+      p[i][j] = calm * m.prob(from, static_cast<markov::State>(j));
+      leave += p[i][j];
+    }
+    if (leave > 1.0) {
+      throw std::invalid_argument("scale_departures: calm too large for row");
+    }
+    p[i][i] = 1.0 - leave;
+  }
+  return markov::TransitionMatrix(p);
+}
+
+CyclostationaryAvailability::CyclostationaryAvailability(const Platform& platform,
+                                                         std::uint64_t seed,
+                                                         long period, long day_slots,
+                                                         double night_calm,
+                                                         InitialStates init)
+    : rng_(seed), period_(period), day_slots_(day_slots) {
+  if (period_ < 1 || day_slots_ < 0 || day_slots_ > period_) {
+    throw std::invalid_argument("CyclostationaryAvailability: bad period/day_slots");
+  }
+  day_cuts_.reserve(static_cast<std::size_t>(platform.size()));
+  night_cuts_.reserve(static_cast<std::size_t>(platform.size()));
+  for (int q = 0; q < platform.size(); ++q) {
+    const auto& day = platform.proc(q).availability;
+    day_cuts_.push_back(step_cuts(day));
+    night_cuts_.push_back(step_cuts(scale_departures(day, night_calm)));
+  }
+  states_ = sample_initial_states(platform, rng_, init);
+}
+
+void CyclostationaryAvailability::advance() {
+  // The transition into slot t+1 is governed by the destination slot's
+  // regime: what happens during the night follows the night chain.
+  const auto& cuts = day_at(slot_ + 1) ? day_cuts_ : night_cuts_;
+  auto& engine = rng_.engine();
+  for (std::size_t q = 0; q < states_.size(); ++q) {
+    const auto& row = cuts[q][static_cast<std::size_t>(states_[q])];
+    const std::uint64_t x = std::min(engine(), util::kU01Top);
+    states_[q] = x < row[0] ? markov::State::Up
+               : x < row[1] ? markov::State::Reclaimed
+                            : markov::State::Down;
+  }
+  ++slot_;
+}
+
+void CyclostationaryAvailability::fill_block(markov::State* buf, long slots) {
+  const std::size_t p = states_.size();
+  for (long t = 0; t < slots; ++t) {
+    std::copy_n(states_.data(), p, buf);
+    buf += p;
+    advance();  // already the non-dispatching cut-point path
+  }
+}
+
+}  // namespace tcgrid::platform

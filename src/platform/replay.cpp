@@ -1,0 +1,40 @@
+#include "platform/replay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcgrid::platform {
+
+TraceReplayAvailability::TraceReplayAvailability(
+    std::shared_ptr<const StateTimeline> timeline, std::uint64_t seed, bool rotate,
+    bool validated)
+    : timeline_(std::move(timeline)) {
+  if (timeline_ == nullptr || timeline_->empty()) {
+    throw std::invalid_argument("TraceReplayAvailability: empty timeline");
+  }
+  procs_ = static_cast<int>(timeline_->front().size());
+  if (procs_ == 0) throw std::invalid_argument("TraceReplayAvailability: zero-width trace");
+  if (!validated) {
+    for (const auto& row : *timeline_) {
+      if (static_cast<int>(row.size()) != procs_) {
+        throw std::invalid_argument("TraceReplayAvailability: ragged timeline");
+      }
+    }
+  }
+  if (rotate) row_ = util::splitmix64(seed) % timeline_->size();
+}
+
+void TraceReplayAvailability::advance() {
+  if (++row_ == timeline_->size()) row_ = 0;
+}
+
+void TraceReplayAvailability::fill_block(markov::State* buf, long slots) {
+  const auto p = static_cast<std::size_t>(procs_);
+  for (long t = 0; t < slots; ++t) {
+    std::copy_n((*timeline_)[row_].data(), p, buf);
+    buf += p;
+    advance();
+  }
+}
+
+}  // namespace tcgrid::platform

@@ -1,0 +1,50 @@
+// Trace-replay availability: drive the simulator from a recorded timeline
+// (real desktop-grid traces, or traces recorded from another source via
+// platform::record) instead of a generative model.
+//
+// Replay wraps around at the end of the timeline, and — unlike the scripted
+// FixedAvailability, which pads with UP — each seed starts the replay at a
+// different rotation offset, so paired trials of a scenario see different
+// windows of the same trace (the replay analogue of redrawing a stochastic
+// realization per trial).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/availability.hpp"
+#include "platform/trace_io.hpp"
+
+namespace tcgrid::platform {
+
+class TraceReplayAvailability final : public AvailabilitySource {
+ public:
+  /// Replay `timeline` (shared: one loaded trace typically feeds many
+  /// concurrent trials) starting at a rotation offset derived from `seed`
+  /// (pass rotate = false for offset 0). Throws std::invalid_argument on an
+  /// empty or ragged timeline. A caller that constructs many replays of one
+  /// already-validated trace (scen's trace family validates at registration)
+  /// passes validated = true to skip the O(rows) ragged scan per trial.
+  TraceReplayAvailability(std::shared_ptr<const StateTimeline> timeline,
+                          std::uint64_t seed, bool rotate = true,
+                          bool validated = false);
+
+  [[nodiscard]] int size() const override { return procs_; }
+  [[nodiscard]] markov::State state(int q) const override {
+    return (*timeline_)[row_][static_cast<std::size_t>(q)];
+  }
+  void advance() override;
+
+  /// Fast path: one bulk row copy per slot, no per-processor dispatch.
+  void fill_block(markov::State* buf, long slots) override;
+
+  /// Row of the timeline the replay currently reads (for tests).
+  [[nodiscard]] std::size_t row() const noexcept { return row_; }
+
+ private:
+  std::shared_ptr<const StateTimeline> timeline_;
+  int procs_ = 0;
+  std::size_t row_ = 0;
+};
+
+}  // namespace tcgrid::platform

@@ -1,5 +1,6 @@
 #include "platform/semi_markov.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -20,7 +21,28 @@ void SemiMarkovAvailability::resample_holding(std::size_t q) {
   remaining_[q] = std::max(1L, static_cast<long>(std::ceil(draw)));
 }
 
-void SemiMarkovAvailability::advance() {
+SemiMarkovParams matched_semi_markov(const markov::TransitionMatrix& m, double shape) {
+  SemiMarkovParams params;
+  params.shape = {shape, shape, shape};
+  // A Markov chain holds in state i for a geometric number of slots with
+  // mean 1/(1 - P_ii); give the Weibull the same mean (E[Weibull(k, s)] =
+  // s * Gamma(1 + 1/k)) and reuse the chain's conditional jump distribution.
+  const double gamma = std::tgamma(1.0 + 1.0 / shape);
+  for (std::size_t i = 0; i < markov::kNumStates; ++i) {
+    const auto from = static_cast<markov::State>(i);
+    const double stay = m.prob(from, from);
+    const double mean_sojourn = 1.0 / std::max(1e-9, 1.0 - stay);
+    params.scale[i] = mean_sojourn / gamma;
+    const double leave = std::max(1e-12, 1.0 - stay);
+    for (std::size_t j = 0; j < markov::kNumStates; ++j) {
+      const auto to = static_cast<markov::State>(j);
+      params.jump[i][j] = i == j ? 0.0 : m.prob(from, to) / leave;
+    }
+  }
+  return params;
+}
+
+void SemiMarkovAvailability::step_once() {
   for (std::size_t q = 0; q < params_.size(); ++q) {
     if (--remaining_[q] > 0) continue;
     // Sojourn over: jump to a different state via the embedded chain.
@@ -31,6 +53,17 @@ void SemiMarkovAvailability::advance() {
     else if (u < row[0] + row[1]) next = markov::State::Reclaimed;
     states_[q] = next;
     resample_holding(q);
+  }
+}
+
+void SemiMarkovAvailability::advance() { step_once(); }
+
+void SemiMarkovAvailability::fill_block(markov::State* buf, long slots) {
+  const std::size_t p = params_.size();
+  for (long t = 0; t < slots; ++t) {
+    std::copy_n(states_.data(), p, buf);
+    buf += p;
+    step_once();
   }
 }
 

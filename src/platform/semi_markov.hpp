@@ -33,6 +33,15 @@ struct SemiMarkovParams {
   std::array<double, 3> scale{20.0, 10.0, 10.0};
 };
 
+/// Semi-Markov parameters whose embedded chain and mean sojourn times match
+/// a given Markov transition matrix, with Weibull-shaped (heavy-tailed for
+/// shape < 1) instead of geometric holding times. This is the "same first
+/// moments, different law" construction of the §VII-B mismatch experiment:
+/// a Markov model fitted to the resulting traces recovers approximately `m`,
+/// yet the process is not Markovian.
+[[nodiscard]] SemiMarkovParams matched_semi_markov(const markov::TransitionMatrix& m,
+                                                   double shape);
+
 /// Semi-Markov availability source (sojourn in each state is
 /// ceil(Weibull(shape, scale)) slots, minimum 1).
 class SemiMarkovAvailability final : public AvailabilitySource {
@@ -45,7 +54,13 @@ class SemiMarkovAvailability final : public AvailabilitySource {
   }
   void advance() override;
 
+  /// Fast path: most processor-slots only decrement a sojourn counter, so a
+  /// block fill is a tight non-virtual loop. Draw-for-draw identical to
+  /// advance() (both run the same internal step).
+  void fill_block(markov::State* buf, long slots) override;
+
  private:
+  void step_once();
   void resample_holding(std::size_t q);
 
   std::vector<SemiMarkovParams> params_;

@@ -8,11 +8,20 @@
 namespace tcgrid::platform {
 
 StateTimeline read_trace(std::istream& in) {
+  // Tolerant of real-world trace files: CRLF line endings (getline leaves
+  // the '\r'), a missing trailing newline on the last row (getline still
+  // yields it), a UTF-8 BOM, and comment lines indented with whitespace.
   StateTimeline timeline;
   std::string line;
   std::size_t width = 0;
+  bool first_line = true;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    if (first_line) {
+      first_line = false;
+      if (line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
+    }
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
     std::vector<markov::State> row;
     row.reserve(line.size());
     for (char c : line) {
@@ -22,7 +31,6 @@ StateTimeline read_trace(std::istream& in) {
       }
       row.push_back(markov::state_from_code(c));
     }
-    if (row.empty()) continue;
     if (width == 0) width = row.size();
     if (row.size() != width) throw std::runtime_error("read_trace: ragged trace");
     timeline.push_back(std::move(row));

@@ -1,0 +1,217 @@
+#include "scen/family.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "platform/cyclostationary.hpp"
+#include "platform/replay.hpp"
+#include "platform/semi_markov.hpp"
+
+namespace tcgrid::scen {
+
+namespace {
+
+// ----------------------------------------------------------- availability ----
+
+class MarkovFamily final : public AvailabilityFamily {
+ public:
+  explicit MarkovFamily(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<platform::AvailabilitySource> make_source(
+      const platform::Platform& platform, std::uint64_t seed,
+      platform::InitialStates init) const override {
+    return std::make_unique<platform::MarkovAvailability>(platform, seed, init);
+  }
+
+ private:
+  std::string name_;
+};
+
+class WeibullFamily final : public AvailabilityFamily {
+ public:
+  WeibullFamily(std::string name, WeibullFamilyParams params)
+      : name_(std::move(name)), params_(params) {
+    if (!(params_.shape > 0.0)) {
+      throw std::invalid_argument("weibull family: shape must be > 0");
+    }
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<platform::AvailabilitySource> make_source(
+      const platform::Platform& platform, std::uint64_t seed,
+      platform::InitialStates /*init*/) const override {
+    std::vector<platform::SemiMarkovParams> per_proc;
+    per_proc.reserve(static_cast<std::size_t>(platform.size()));
+    for (const auto& pr : platform.procs()) {
+      per_proc.push_back(platform::matched_semi_markov(pr.availability, params_.shape));
+    }
+    return std::make_unique<platform::SemiMarkovAvailability>(std::move(per_proc), seed);
+  }
+
+ private:
+  std::string name_;
+  WeibullFamilyParams params_;
+};
+
+class TraceFamily final : public AvailabilityFamily {
+ public:
+  TraceFamily(std::string name, TraceFamilyParams params)
+      : name_(std::move(name)), params_(std::move(params)) {
+    // Validate the timeline ONCE at registration (full ragged scan via the
+    // replay ctor); per-trial sources skip it — see make_source.
+    (void)platform::TraceReplayAvailability(params_.timeline, 0, false);
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<platform::AvailabilitySource> make_source(
+      const platform::Platform& platform, std::uint64_t seed,
+      platform::InitialStates /*init*/) const override {
+    const auto width = static_cast<int>(params_.timeline->front().size());
+    if (width != platform.size()) {
+      throw std::invalid_argument("trace family '" + name_ + "': trace is " +
+                                  std::to_string(width) + " processors wide, platform has " +
+                                  std::to_string(platform.size()));
+    }
+    return std::make_unique<platform::TraceReplayAvailability>(
+        params_.timeline, seed, params_.rotate, /*validated=*/true);
+  }
+
+ private:
+  std::string name_;
+  TraceFamilyParams params_;
+};
+
+class DayNightFamily final : public AvailabilityFamily {
+ public:
+  DayNightFamily(std::string name, DayNightFamilyParams params)
+      : name_(std::move(name)), params_(params) {
+    if (params_.period < 1 || params_.day_slots < 0 ||
+        params_.day_slots > params_.period) {
+      throw std::invalid_argument("daynight family: bad period/day_slots");
+    }
+    // Reject calm > 1 here, not in scale_departures: whether an amplifying
+    // factor overflows a row depends on the platform's chains, which would
+    // turn a bad parameter into a mid-sweep, scenario-dependent throw
+    // instead of an up-front registration failure.
+    if (params_.night_calm < 0.0 || params_.night_calm > 1.0) {
+      throw std::invalid_argument("daynight family: night_calm must be in [0, 1]");
+    }
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<platform::AvailabilitySource> make_source(
+      const platform::Platform& platform, std::uint64_t seed,
+      platform::InitialStates init) const override {
+    return std::make_unique<platform::CyclostationaryAvailability>(
+        platform, seed, params_.period, params_.day_slots, params_.night_calm, init);
+  }
+
+ private:
+  std::string name_;
+  DayNightFamilyParams params_;
+};
+
+// ---------------------------------------------------------------- platform ----
+
+class PaperPlatformFamily final : public PlatformFamily {
+ public:
+  explicit PaperPlatformFamily(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] platform::Scenario make(
+      const platform::ScenarioParams& params) const override {
+    return platform::make_scenario(params);
+  }
+
+ private:
+  std::string name_;
+};
+
+class ClusterPlatformFamily final : public PlatformFamily {
+ public:
+  ClusterPlatformFamily(std::string name, ClusterPlatformParams params)
+      : name_(std::move(name)), params_(params) {
+    if (params_.clusters < 1) {
+      throw std::invalid_argument("clusters family: clusters must be >= 1");
+    }
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] platform::Scenario make(
+      const platform::ScenarioParams& params) const override {
+    if (params.m < 1 || params.ncom < 1 || params.wmin < 1 || params.p < 1) {
+      throw std::invalid_argument("clusters family: invalid parameters");
+    }
+    util::Rng rng(params.seed);
+    const int k = std::min(params_.clusters, params.p);
+    // One speed and one chain per cluster; members are contiguous blocks of
+    // as-even-as-possible size (the first p % k clusters get one extra).
+    std::vector<markov::TransitionMatrix> chains;
+    std::vector<long> speeds;
+    chains.reserve(static_cast<std::size_t>(k));
+    speeds.reserve(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c) {
+      chains.push_back(markov::TransitionMatrix::paper_random(rng));
+      speeds.push_back(rng.uniform_int(params.wmin, 10 * params.wmin));
+    }
+    std::vector<platform::Processor> procs;
+    procs.reserve(static_cast<std::size_t>(params.p));
+    int cluster = 0, filled = 0;
+    for (int q = 0; q < params.p; ++q) {
+      const int quota = params.p / k + (cluster < params.p % k ? 1 : 0);
+      platform::Processor pr;
+      pr.id = q;
+      pr.availability = chains[static_cast<std::size_t>(cluster)];
+      pr.speed = speeds[static_cast<std::size_t>(cluster)];
+      pr.max_tasks = params.m;
+      procs.push_back(pr);
+      if (++filled == quota) {
+        ++cluster;
+        filled = 0;
+      }
+    }
+
+    model::Application app;
+    app.num_tasks = params.m;
+    app.t_data = params.wmin;
+    app.t_prog = 5 * params.wmin;
+    app.iterations = params.iterations;
+    app.validate();
+
+    return platform::Scenario{platform::Platform(std::move(procs), params.ncom), app,
+                              params};
+  }
+
+ private:
+  std::string name_;
+  ClusterPlatformParams params_;
+};
+
+}  // namespace
+
+std::shared_ptr<const AvailabilityFamily> make_markov_family(std::string name,
+                                                             MarkovFamilyParams) {
+  return std::make_shared<MarkovFamily>(std::move(name));
+}
+
+std::shared_ptr<const AvailabilityFamily> make_weibull_family(
+    std::string name, WeibullFamilyParams params) {
+  return std::make_shared<WeibullFamily>(std::move(name), params);
+}
+
+std::shared_ptr<const AvailabilityFamily> make_trace_family(std::string name,
+                                                            TraceFamilyParams params) {
+  return std::make_shared<TraceFamily>(std::move(name), std::move(params));
+}
+
+std::shared_ptr<const AvailabilityFamily> make_daynight_family(
+    std::string name, DayNightFamilyParams params) {
+  return std::make_shared<DayNightFamily>(std::move(name), params);
+}
+
+std::shared_ptr<const PlatformFamily> make_paper_platform_family(std::string name) {
+  return std::make_shared<PaperPlatformFamily>(std::move(name));
+}
+
+std::shared_ptr<const PlatformFamily> make_cluster_platform_family(
+    std::string name, ClusterPlatformParams params) {
+  return std::make_shared<ClusterPlatformFamily>(std::move(name), params);
+}
+
+}  // namespace tcgrid::scen

@@ -1,0 +1,119 @@
+// Scenario-model families: the pluggable "what does the world look like"
+// axis of an experiment (see DESIGN.md §7).
+//
+// The paper evaluates its heuristics in one world — 20 processors with
+// uniform-random speeds, each following an independent homogeneous Markov
+// chain. Its §VII-B names the open question: what happens when reality is
+// NOT that world (Weibull-tailed sojourns, diurnal cycles, recorded
+// traces)? A family packages one such world behind a string name:
+//
+//   * an AvailabilityFamily turns (platform, trial seed) into an
+//     AvailabilitySource — the stochastic law of processor availability;
+//   * a PlatformFamily turns ScenarioParams into a Scenario — how speeds,
+//     chains and the application are drawn for a grid cell.
+//
+// Families are registered by name (scen/registry.hpp) and crossed with the
+// paper's (m, ncom, wmin) grid by a ScenarioSpace (scen/space.hpp), so a
+// new world is a registration call, not a new experiment driver. Every
+// family must obey the paired-trial law: the source it returns is a pure
+// function of (platform, seed, init), and it draws identically however it
+// is pulled (per-slot or block-stepped).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "platform/availability.hpp"
+#include "platform/scenario.hpp"
+#include "platform/trace_io.hpp"
+
+namespace tcgrid::scen {
+
+/// Stochastic law of per-slot processor availability, keyed by name.
+class AvailabilityFamily {
+ public:
+  virtual ~AvailabilityFamily() = default;
+
+  /// Registry name (stable identifier; flows into result sinks).
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Availability stream for one trial of a scenario. Must be a pure
+  /// function of the arguments (the paired-comparison contract). `init` is
+  /// the session's initial-state policy; families with no notion of a
+  /// stationary start may ignore it.
+  [[nodiscard]] virtual std::unique_ptr<platform::AvailabilitySource> make_source(
+      const platform::Platform& platform, std::uint64_t seed,
+      platform::InitialStates init) const = 0;
+};
+
+/// How a grid cell's ScenarioParams become a concrete platform+application.
+class PlatformFamily {
+ public:
+  virtual ~PlatformFamily() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Deterministic in `params` (including params.seed).
+  [[nodiscard]] virtual platform::Scenario make(
+      const platform::ScenarioParams& params) const = 0;
+};
+
+// ------------------------------------------------------------- parameters ----
+
+/// The paper's model (§VII-A): homogeneous per-processor Markov chains.
+struct MarkovFamilyParams {};
+
+/// Semi-Markov availability with Weibull sojourns matched (in embedded
+/// chain and mean holding time) to each processor's Markov chain — the
+/// §VII-B "reality is heavy-tailed" world.
+struct WeibullFamilyParams {
+  double shape = 0.7;  ///< Weibull shape; < 1 = heavy tails, 1 = memoryless
+};
+
+/// Replay of a recorded timeline, rotated per seed so paired trials see
+/// different windows of the same trace.
+struct TraceFamilyParams {
+  std::shared_ptr<const platform::StateTimeline> timeline;
+  bool rotate = true;  ///< false: every trial starts at row 0
+};
+
+/// Day/night modulation: the platform's chains govern "day" slots, a calmer
+/// scaled chain governs "night" slots (platform/cyclostationary.hpp).
+struct DayNightFamilyParams {
+  long period = 1000;        ///< slots per day/night cycle
+  long day_slots = 500;      ///< leading slots of each period that are "day"
+  double night_calm = 0.25;  ///< departure-probability scale at night (< 1)
+};
+
+/// Heterogeneous clusters: processors come in `clusters` groups that share
+/// one speed and one availability chain (lab machines alike within a lab,
+/// different across labs) instead of 20 i.i.d. draws.
+struct ClusterPlatformParams {
+  int clusters = 4;
+};
+
+// -------------------------------------------------------------- factories ----
+// Families are immutable once built; registering the returned pointer
+// (scen/registry.hpp) publishes it under its name.
+
+[[nodiscard]] std::shared_ptr<const AvailabilityFamily> make_markov_family(
+    std::string name = "markov", MarkovFamilyParams params = {});
+
+[[nodiscard]] std::shared_ptr<const AvailabilityFamily> make_weibull_family(
+    std::string name = "weibull", WeibullFamilyParams params = {});
+
+/// Throws std::invalid_argument on an empty/ragged timeline.
+[[nodiscard]] std::shared_ptr<const AvailabilityFamily> make_trace_family(
+    std::string name, TraceFamilyParams params);
+
+[[nodiscard]] std::shared_ptr<const AvailabilityFamily> make_daynight_family(
+    std::string name = "daynight", DayNightFamilyParams params = {});
+
+[[nodiscard]] std::shared_ptr<const PlatformFamily> make_paper_platform_family(
+    std::string name = "paper");
+
+[[nodiscard]] std::shared_ptr<const PlatformFamily> make_cluster_platform_family(
+    std::string name = "clusters", ClusterPlatformParams params = {});
+
+}  // namespace tcgrid::scen

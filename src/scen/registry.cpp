@@ -1,0 +1,105 @@
+#include "scen/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace tcgrid::scen {
+
+namespace {
+
+template <typename Family>
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::shared_ptr<const Family>, std::less<>> families;
+
+  void install(std::shared_ptr<const Family> family) {
+    if (family == nullptr) throw std::invalid_argument("register family: null");
+    const std::lock_guard<std::mutex> lock(mutex);
+    families[family->name()] = std::move(family);
+  }
+
+  std::shared_ptr<const Family> find(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = families.find(name);
+    return it == families.end() ? nullptr : it->second;
+  }
+
+  std::vector<std::string> names() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::string> out;
+    out.reserve(families.size());
+    for (const auto& [name, family] : families) out.push_back(name);
+    return out;
+  }
+};
+
+Registry<AvailabilityFamily>& availability_registry() {
+  static Registry<AvailabilityFamily>& reg = *[] {
+    auto* r = new Registry<AvailabilityFamily>();
+    r->install(make_markov_family());
+    r->install(make_weibull_family());
+    r->install(make_daynight_family());
+    return r;
+  }();
+  return reg;
+}
+
+Registry<PlatformFamily>& platform_registry() {
+  static Registry<PlatformFamily>& reg = *[] {
+    auto* r = new Registry<PlatformFamily>();
+    r->install(make_paper_platform_family());
+    r->install(make_cluster_platform_family());
+    return r;
+  }();
+  return reg;
+}
+
+std::string known(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+void register_availability_family(std::shared_ptr<const AvailabilityFamily> family) {
+  availability_registry().install(std::move(family));
+}
+
+void register_platform_family(std::shared_ptr<const PlatformFamily> family) {
+  platform_registry().install(std::move(family));
+}
+
+std::shared_ptr<const AvailabilityFamily> availability_family(std::string_view name) {
+  if (auto family = availability_registry().find(name)) return family;
+  throw std::invalid_argument("unknown availability family '" + std::string(name) +
+                              "' (registered: " + known(availability_family_names()) +
+                              ")");
+}
+
+std::shared_ptr<const PlatformFamily> platform_family(std::string_view name) {
+  if (auto family = platform_registry().find(name)) return family;
+  throw std::invalid_argument("unknown platform family '" + std::string(name) +
+                              "' (registered: " + known(platform_family_names()) + ")");
+}
+
+bool is_availability_family(std::string_view name) {
+  return availability_registry().find(name) != nullptr;
+}
+
+bool is_platform_family(std::string_view name) {
+  return platform_registry().find(name) != nullptr;
+}
+
+std::vector<std::string> availability_family_names() {
+  return availability_registry().names();
+}
+
+std::vector<std::string> platform_family_names() { return platform_registry().names(); }
+
+}  // namespace tcgrid::scen

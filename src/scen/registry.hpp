@@ -1,0 +1,48 @@
+// String-named registry of scenario-model families, mirroring the heuristic
+// registry (sched/registry.hpp): experiment specs refer to worlds by name,
+// result rows carry the name, and adding a world is one registration call.
+//
+// The built-in families are installed on first use:
+//
+//   availability: "markov" (the paper's §VII-A model), "weibull"
+//                 (semi-Markov, Weibull sojourns, shape 0.7), "daynight"
+//                 (cyclostationary day/night modulation)
+//   platform:     "paper" (20 i.i.d. processors), "clusters"
+//                 (4 heterogeneous clusters sharing speed and chain)
+//
+// Trace-replay families need a concrete timeline, so they are registered by
+// the caller: register_availability_family(make_trace_family("mytrace",
+// {...})). Registration is thread-safe; re-registering a name replaces the
+// family (tests and notebooks overwrite freely). Lookups return shared_ptr,
+// so a family stays valid for sources already constructed from it even if
+// its name is re-bound mid-sweep.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scen/family.hpp"
+
+namespace tcgrid::scen {
+
+/// Publish `family` under family->name(). Replaces any previous binding.
+void register_availability_family(std::shared_ptr<const AvailabilityFamily> family);
+void register_platform_family(std::shared_ptr<const PlatformFamily> family);
+
+/// Look up a family by name; throws std::invalid_argument (listing the
+/// registered names) when unknown.
+[[nodiscard]] std::shared_ptr<const AvailabilityFamily> availability_family(
+    std::string_view name);
+[[nodiscard]] std::shared_ptr<const PlatformFamily> platform_family(
+    std::string_view name);
+
+[[nodiscard]] bool is_availability_family(std::string_view name);
+[[nodiscard]] bool is_platform_family(std::string_view name);
+
+/// Registered names, sorted (built-ins included).
+[[nodiscard]] std::vector<std::string> availability_family_names();
+[[nodiscard]] std::vector<std::string> platform_family_names();
+
+}  // namespace tcgrid::scen

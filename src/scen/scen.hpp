@@ -1,0 +1,15 @@
+// Umbrella header for the tcgrid scenario-model subsystem.
+//
+//   #include "scen/scen.hpp"
+//
+//   // Run the paper's sweep in a Weibull world on clustered platforms:
+//   tcgrid::api::ExperimentSpec spec = tcgrid::api::ExperimentSpec::reduced(5, 200'000);
+//   spec.scenario_space = {.availability = "weibull", .platform = "clusters"};
+//
+// See DESIGN.md §7 for the family registry, the block-stepping contract and
+// the §VII-B mismatch experiment.
+#pragma once
+
+#include "scen/family.hpp"    // IWYU pragma: export
+#include "scen/registry.hpp"  // IWYU pragma: export
+#include "scen/space.hpp"     // IWYU pragma: export

@@ -1,0 +1,44 @@
+#include "scen/space.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "platform/semi_markov.hpp"
+
+namespace tcgrid::scen {
+
+void ScenarioSpace::validate() const {
+  // Resolve both names so the error message lists what IS registered.
+  (void)scen::availability_family(availability);
+  (void)scen::platform_family(platform);
+}
+
+platform::Scenario instantiate(const ScenarioSpace& space,
+                               const platform::ScenarioParams& params) {
+  return scen::platform_family(space.platform)->make(params);
+}
+
+std::unique_ptr<platform::AvailabilitySource> make_availability(
+    const ScenarioSpace& space, const platform::Platform& platform,
+    std::uint64_t seed, platform::InitialStates init) {
+  return scen::availability_family(space.availability)->make_source(platform, seed, init);
+}
+
+platform::Platform fit_markov_platform(const platform::Platform& truth,
+                                       const AvailabilityFamily& family,
+                                       long train_slots, std::uint64_t seed) {
+  if (train_slots < 2) {
+    throw std::invalid_argument("fit_markov_platform: need >= 2 training slots");
+  }
+  const auto source =
+      family.make_source(truth, seed, platform::InitialStates::Stationary);
+  const platform::StateTimeline training = platform::record(*source, train_slots);
+  std::vector<platform::Processor> believed(truth.procs().begin(), truth.procs().end());
+  for (int q = 0; q < truth.size(); ++q) {
+    believed[static_cast<std::size_t>(q)].availability =
+        platform::fit_transition_matrix(training, q);
+  }
+  return platform::Platform(std::move(believed), truth.ncom());
+}
+
+}  // namespace tcgrid::scen

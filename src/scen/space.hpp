@@ -1,0 +1,60 @@
+// ScenarioSpace: which world (family pair) a scenario population lives in.
+//
+// Crossing a space with the paper's (m, ncom, wmin) grid is what turns "the
+// experiment of §VII-A" into "the experiment of §VII-A under Weibull
+// availability on clustered platforms" without touching any driver code:
+// api::ExperimentSpec carries a ScenarioSpace (defaulting to the paper's
+// world, bit-identically), and api::Session resolves it through the family
+// registry per scenario and per trial.
+//
+// Scenario seeds are space-independent on purpose: the same (grid cell,
+// scenario index) yields the same platform draw in every availability
+// family, so cross-family comparisons are paired at the platform level just
+// as trials are paired at the availability level within a family.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "scen/registry.hpp"
+
+namespace tcgrid::scen {
+
+struct ScenarioSpace {
+  std::string availability = "markov";  ///< AvailabilityFamily registry name
+  std::string platform = "paper";       ///< PlatformFamily registry name
+
+  /// Throws std::invalid_argument (naming the field and the registered
+  /// alternatives) unless both names are registered.
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const ScenarioSpace&) const = default;
+};
+
+/// The default space: the paper's §VII-A world.
+[[nodiscard]] inline ScenarioSpace paper_space() { return ScenarioSpace{}; }
+
+/// Instantiate the scenario for a grid cell in this space (resolves the
+/// platform family through the registry).
+[[nodiscard]] platform::Scenario instantiate(const ScenarioSpace& space,
+                                             const platform::ScenarioParams& params);
+
+/// Availability stream for one trial of an instantiated scenario (resolves
+/// the availability family through the registry).
+[[nodiscard]] std::unique_ptr<platform::AvailabilitySource> make_availability(
+    const ScenarioSpace& space, const platform::Platform& platform,
+    std::uint64_t seed, platform::InitialStates init);
+
+/// The §VII-B model-misspecification substrate: record `train_slots` of the
+/// named availability family running on `truth` and fit per-processor Markov
+/// chains by maximum likelihood (platform::fit_transition_matrix). The
+/// returned platform has the same speeds/ids but the fitted ("flawed")
+/// chains — build an Estimator from it to give the Markov heuristics a
+/// wrong belief while simulating against the true process.
+[[nodiscard]] platform::Platform fit_markov_platform(const platform::Platform& truth,
+                                                     const AvailabilityFamily& family,
+                                                     long train_slots,
+                                                     std::uint64_t seed);
+
+}  // namespace tcgrid::scen

@@ -18,11 +18,16 @@ Engine::Engine(const platform::Platform& platform, const model::Application& app
     throw std::invalid_argument("Engine: availability/platform size mismatch");
   }
   if (options_.slot_cap < 1) throw std::invalid_argument("Engine: slot_cap < 1");
+  if (options_.avail_block < 1) throw std::invalid_argument("Engine: avail_block < 1");
+  // A block never needs to exceed the run length: clamping bounds the buffer
+  // (and the prefetch overshoot) by slot_cap however large the option is.
+  block_slots_ = std::min(options_.avail_block, options_.slot_cap);
   const auto p = static_cast<std::size_t>(platform_.size());
   states_.resize(p);
   holdings_.resize(p);
   actions_.resize(p);
   comm_remaining_buf_.resize(p);
+  block_.resize(p * static_cast<std::size_t>(block_slots_));
 }
 
 SimulationResult Engine::run() {
@@ -31,8 +36,9 @@ SimulationResult Engine::run() {
   trace_.clear();
   iteration_start_ = 0;
 
+  block_pos_ = block_filled_ = 0;  // (re-)pull from the source's current slot
+
   for (slot_ = 0; slot_ < options_.slot_cap && !finished_; ++slot_) {
-    if (slot_ > 0) availability_.advance();
     refresh_states();
     std::fill(actions_.begin(), actions_.end(), Action::None);
 
@@ -55,9 +61,18 @@ SimulationResult Engine::run() {
 }
 
 void Engine::refresh_states() {
-  for (int q = 0; q < platform_.size(); ++q) {
-    states_[static_cast<std::size_t>(q)] = availability_.state(q);
+  // Availability is consumed through the block-stepping contract: one
+  // fill_block call (which also advances the source) per avail_block slots,
+  // then a bulk row copy per slot — no per-processor virtual dispatch.
+  if (block_pos_ == block_filled_) {
+    availability_.fill_block(block_.data(), block_slots_);
+    block_filled_ = block_slots_;
+    block_pos_ = 0;
   }
+  const std::size_t p = states_.size();
+  std::copy_n(block_.data() + static_cast<std::size_t>(block_pos_) * p, p,
+              states_.data());
+  ++block_pos_;
 }
 
 void Engine::process_downs() {

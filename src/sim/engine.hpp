@@ -29,6 +29,15 @@ struct EngineOptions {
   long slot_cap = 1'000'000;  ///< fail the run if the makespan reaches this
   bool record_trace = false;  ///< keep a per-slot activity trace (costly)
   CommOrder comm_order = CommOrder::Enrollment;
+  /// Slots pulled per AvailabilitySource::fill_block call (clamped to
+  /// slot_cap). The engine consumes availability in dense blocks instead of
+  /// size()+1 virtual calls per slot; any value >= 1 yields the identical
+  /// simulation (availability is autonomous, so prefetching it cannot
+  /// observe scheduling decisions). Note the prefetch: after run() the
+  /// source may have been advanced up to avail_block - 1 slots past the
+  /// last simulated slot, so a caller-supplied source should not be reused
+  /// to continue the same stream.
+  long avail_block = 256;
 };
 
 /// Drives one application execution: availability advances slot by slot, the
@@ -75,6 +84,10 @@ class Engine {
   // dynamic state
   long slot_ = 0;
   std::vector<markov::State> states_;
+  std::vector<markov::State> block_;  ///< [block_slots_ x p] availability buffer
+  long block_slots_ = 0;              ///< min(avail_block, slot_cap)
+  long block_pos_ = 0;                ///< rows of block_ already consumed
+  long block_filled_ = 0;             ///< rows of block_ currently valid
   std::vector<model::Holdings> holdings_;
   model::Configuration config_;
   long compute_total_ = 0;

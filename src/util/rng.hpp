@@ -30,6 +30,57 @@ namespace tcgrid::util {
   return splitmix64(seed ^ splitmix64(stream ^ 0xa5a5a5a5a5a5a5a5ULL));
 }
 
+/// Two-index child-seed derivation: chains derive_seed through both indices,
+/// so distinct (a, b) pairs map to distinct streams by construction. The
+/// scenario grid uses this for its cell seeds — unlike the historical
+/// additive scheme (`cell * 1000 + s`), no (cell, s) pair can collide with a
+/// neighbouring cell's stream regardless of how large either index grows.
+[[nodiscard]] constexpr std::uint64_t derive_seed2(std::uint64_t seed, std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return derive_seed(derive_seed(seed, a), b);
+}
+
+/// The exact bit-to-[0,1) mapping behind Rng::uniform01: one 64-bit draw,
+/// rounded to double and scaled by 2^-64 (a power-of-two scale, hence exact),
+/// clamped into [0, 1). This mapping is fully specified — mt19937_64 plus
+/// this function pins every uniform01-driven stream (the Markov and
+/// cyclostationary availability families) bit-for-bit across standard
+/// libraries, where std::uniform_real_distribution's output is
+/// implementation-defined (on libstdc++/GCC 12 this function reproduces it
+/// exactly). Streams drawn through other std distributions (weibull(),
+/// uniform_int(), uniform(lo, hi)) remain implementation-defined.
+[[nodiscard]] constexpr double u01_from_bits(std::uint64_t x) noexcept {
+  const double u = static_cast<double>(x) * 0x1p-64;
+  return u < 1.0 ? u : 0x1.fffffffffffffp-1;  // nextafter(1.0, 0.0)
+}
+
+/// Raw draws >= kU01Top round to the same double as kU01Top, so clamping a
+/// draw to kU01Top preserves u01_from_bits exactly while keeping thresholds
+/// representable in 64 bits (see uniform01_cut).
+inline constexpr std::uint64_t kU01Top = ~0ULL - 1;
+
+/// Integer threshold equivalent of a comparison against u01_from_bits:
+///
+///   u01_from_bits(x) < c   <=>   min(x, kU01Top) < uniform01_cut(c)
+///
+/// for EVERY raw draw x and any double c. Computed by binary search over the
+/// (monotone) mapping, so the equivalence is exact — including degenerate
+/// rows (c <= 0 never fires; c > max attainable value always fires). This is
+/// what lets the block-stepped availability fast path replace the per-step
+/// double conversion + compare with one integer compare while remaining
+/// bit-identical to the reference path.
+[[nodiscard]] constexpr std::uint64_t uniform01_cut(double c) noexcept {
+  if (u01_from_bits(0) >= c) return 0;           // no draw ever lies below c
+  if (u01_from_bits(kU01Top) < c) return ~0ULL;  // every draw lies below c
+  std::uint64_t lo = 0, hi = kU01Top;  // invariant: u01(lo) < c <= u01(hi)
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (u01_from_bits(mid) < c) lo = mid;
+    else hi = mid;
+  }
+  return hi;
+}
+
 /// Seeded pseudo-random generator with the distributions the library needs.
 ///
 /// All stochastic components (scenario generation, availability sampling,
@@ -51,8 +102,10 @@ class Rng {
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
   }
 
-  /// Uniform real in [0, 1).
-  [[nodiscard]] double uniform01() { return uniform(0.0, 1.0); }
+  /// Uniform real in [0, 1): exactly u01_from_bits of one engine draw.
+  /// Availability streams are pinned to this mapping (see u01_from_bits);
+  /// the block-stepped fast path relies on it via uniform01_cut.
+  [[nodiscard]] double uniform01() { return u01_from_bits(engine_()); }
 
   /// Uniform integer in the closed range [lo, hi].
   [[nodiscard]] long uniform_int(long lo, long hi) {

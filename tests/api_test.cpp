@@ -4,6 +4,8 @@
 // progress callbacks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -192,7 +194,7 @@ TEST(Sinks, CsvRoundTrip) {
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line,
-            "heuristic,m,ncom,wmin,scenario_seed,trial,success,makespan,"
+            "heuristic,family,m,ncom,wmin,scenario_seed,trial,success,makespan,"
             "restarts,reconfigs,idle_slots");
 
   const auto& r = aggregate.results();
@@ -202,22 +204,23 @@ TEST(Sinks, CsvRoundTrip) {
     std::istringstream fs(line);
     std::string field;
     while (std::getline(fs, field, ',')) fields.push_back(field);
-    ASSERT_EQ(fields.size(), 11u) << line;
+    ASSERT_EQ(fields.size(), 12u) << line;
     const int h = r.heuristic_index(fields[0]);
     ASSERT_GE(h, 0);
+    EXPECT_EQ(fields[1], "markov") << line;  // the default scenario space
     // Locate the scenario by its seed and check the streamed makespan
     // against the aggregated tensor.
     int sc = -1;
     for (std::size_t i = 0; i < r.scenarios.size(); ++i) {
-      if (std::to_string(r.scenarios[i].seed) == fields[4]) sc = static_cast<int>(i);
+      if (std::to_string(r.scenarios[i].seed) == fields[5]) sc = static_cast<int>(i);
     }
     ASSERT_GE(sc, 0) << line;
-    const int trial = std::stoi(fields[5]);
+    const int trial = std::stoi(fields[6]);
     const auto& outcome = r.outcomes[static_cast<std::size_t>(h)]
                                     [static_cast<std::size_t>(sc)]
                                     [static_cast<std::size_t>(trial)];
-    EXPECT_EQ(std::to_string(outcome.makespan), fields[7]) << line;
-    EXPECT_EQ(outcome.success ? "1" : "0", fields[6]) << line;
+    EXPECT_EQ(std::to_string(outcome.makespan), fields[8]) << line;
+    EXPECT_EQ(outcome.success ? "1" : "0", fields[7]) << line;
     ++rows;
   }
   EXPECT_EQ(rows, 3u * 2u * 2u);
@@ -243,7 +246,8 @@ TEST(Sinks, JsonlRoundTrip) {
   }
   EXPECT_EQ(rows, 3u * 2u * 2u);
   // Spot-check one value end-to-end.
-  const std::string expected = "\"heuristic\":\"IE\",\"m\":5,\"ncom\":5,\"wmin\":1,"
+  const std::string expected = "\"heuristic\":\"IE\",\"family\":\"markov\","
+                               "\"m\":5,\"ncom\":5,\"wmin\":1,"
                                "\"scenario_seed\":" +
                                std::to_string(r.scenarios[0].seed) + ",\"trial\":0";
   EXPECT_NE(out.str().find(expected), std::string::npos);
@@ -277,6 +281,78 @@ TEST(Sinks, MultipleSinksSeeEveryRowOnce) {
     EXPECT_EQ(s->finishes, 1u);
     EXPECT_EQ(s->seen.size(), 3u * 2u * 2u);
   }
+}
+
+// RFC-4180 parse of one CSV record (quotes, embedded commas/newlines).
+std::vector<std::string> parse_csv_record(const std::string& text, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (quoted) {
+      if (c == '"' && pos + 1 < text.size() && text[pos + 1] == '"') {
+        field += '"';
+        ++pos;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++pos;
+      fields.push_back(std::move(field));
+      return fields;
+    } else {
+      field += c;
+    }
+    ++pos;
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+TEST(Sinks, HostileRegistryNamesRoundTripThroughCsvAndJsonl) {
+  // Family names are caller-chosen; commas, quotes and newlines must
+  // round-trip through the CSV sink and keep the JSONL stream one object
+  // per line.
+  const std::string evil = "evil \"family\", v1\nline2";
+  auto timeline = std::make_shared<platform::StateTimeline>();
+  timeline->assign(4, std::vector<markov::State>(20, markov::State::Up));
+  scen::register_availability_family(scen::make_trace_family(evil, {timeline}));
+
+  auto spec = mini_spec();
+  spec.heuristics = {"IE"};
+  spec.grid.scenarios_per_cell = 1;
+  spec.trials = 1;
+  spec.scenario_space.availability = evil;
+
+  std::ostringstream csv, jsonl;
+  CsvSink csv_sink(csv);
+  JsonlSink jsonl_sink(jsonl);
+  Session().run(spec, {&csv_sink, &jsonl_sink});
+
+  std::size_t pos = 0;
+  const std::string text = csv.str();
+  const auto header = parse_csv_record(text, pos);
+  ASSERT_EQ(header.size(), 12u);
+  const auto row = parse_csv_record(text, pos);
+  ASSERT_EQ(row.size(), 12u);
+  EXPECT_EQ(row[0], "IE");
+  EXPECT_EQ(row[1], evil);  // exact round-trip, newline and quotes included
+
+  // JSONL: exactly one (logical) line, with the newline escaped inside the
+  // JSON string rather than splitting the record.
+  const std::string jl = jsonl.str();
+  ASSERT_FALSE(jl.empty());
+  EXPECT_EQ(std::count(jl.begin(), jl.end(), '\n'), 1);
+  EXPECT_NE(jl.find(R"(\nline2)"), std::string::npos);
+  EXPECT_NE(jl.find(R"(evil \"family\")"), std::string::npos);
 }
 
 TEST(Sinks, FileSinkOpenFailureThrows) {
@@ -322,6 +398,10 @@ TEST(Validation, SpecFieldChecks) {
   spec.options.eps = 0.0;
   EXPECT_THROW(spec.validate(), std::invalid_argument);
 
+  spec = mini_spec();
+  spec.options.avail_block = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
   EXPECT_NO_THROW(mini_spec().validate());
 }
 
@@ -360,6 +440,22 @@ TEST(Spec, GridMatchesLegacyScenarioGrid) {
 TEST(Spec, DefaultHeuristicsAreThePapers17) {
   ExperimentSpec spec;
   EXPECT_EQ(spec.resolved_heuristics().size(), 17u);
+}
+
+TEST(Spec, GridSeedsNeverCollideAcrossCells) {
+  // Regression guard for the additive-derivation collision: with more than
+  // 1000 scenarios per cell, the old scheme reused cell c's seed 1000 as
+  // cell c+1's seed 0. Every (cell, s) must now get a unique seed.
+  ExperimentSpec spec;
+  spec.grid.ms = {5};
+  spec.grid.ncoms = {5, 10};
+  spec.grid.wmins = {1, 2};
+  spec.grid.scenarios_per_cell = 1500;
+  const auto scenarios = spec.scenarios();
+  ASSERT_EQ(scenarios.size(), 4u * 1500u);
+  std::set<std::uint64_t> seeds;
+  for (const auto& s : scenarios) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), scenarios.size());
 }
 
 }  // namespace

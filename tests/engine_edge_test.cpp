@@ -191,6 +191,41 @@ TEST(EngineEdge, RejectsBadConstructionParameters) {
   sim::EngineOptions opts;
   opts.slot_cap = 0;
   EXPECT_THROW(sim::Engine(plat, app, ok, sched, opts), std::invalid_argument);
+
+  platform::FixedAvailability ok2({std::vector<State>(2, State::Up)});
+  sim::EngineOptions bad_block;
+  bad_block.avail_block = 0;
+  EXPECT_THROW(sim::Engine(plat, app, ok2, sched, bad_block), std::invalid_argument);
+}
+
+TEST(EngineEdge, AvailabilityBlockSizeDoesNotChangeResults) {
+  // The engine consumes availability through fill_block; any block size must
+  // yield the identical simulation (block = 1 is the per-slot layout).
+  auto plat = make_platform({2, 3, 1}, 2);
+  model::Application app;
+  app.num_tasks = 3;
+  app.t_data = 2;
+  app.t_prog = 4;
+  app.iterations = 3;
+
+  sim::SimulationResult reference{};
+  for (long block : {1L, 3L, 256L}) {
+    platform::MarkovAvailability avail(plat, 97);
+    PinScheduler sched(model::Configuration({{0, 2}, {1, 1}}));
+    sim::EngineOptions opts;
+    opts.slot_cap = 50'000;
+    opts.avail_block = block;
+    sim::Engine engine(plat, app, avail, sched, opts);
+    const auto r = engine.run();
+    if (block == 1) {
+      reference = r;
+      continue;
+    }
+    EXPECT_EQ(r.makespan, reference.makespan) << "block=" << block;
+    EXPECT_EQ(r.success, reference.success) << "block=" << block;
+    EXPECT_EQ(r.total_restarts, reference.total_restarts) << "block=" << block;
+    EXPECT_EQ(r.idle_slots, reference.idle_slots) << "block=" << block;
+  }
 }
 
 TEST(EngineEdge, SuspendedCommWholeConfigReclaimed) {

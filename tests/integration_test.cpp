@@ -189,8 +189,8 @@ TEST(Integration, MiniSweepPaperOrdering) {
   config.ms = {5};
   config.ncoms = {5};
   config.wmins = {1, 3};
-  config.scenarios_per_cell = 2;
-  config.trials = 2;
+  config.scenarios_per_cell = 4;
+  config.trials = 3;
   config.iterations = 5;
   config.slot_cap = 200000;
   config.heuristics = {"RANDOM", "IP", "IE", "Y-IE"};

@@ -183,6 +183,33 @@ TEST(TraceIo, RejectsBadCharactersAndRagged) {
   EXPECT_THROW(read_trace(ragged), std::runtime_error);
 }
 
+TEST(TraceIo, ToleratesCrlfBomAndMissingTrailingNewline) {
+  using markov::State;
+  const StateTimeline expected{{State::Up, State::Reclaimed},
+                               {State::Down, State::Up},
+                               {State::Up, State::Up}};
+  // A file as a Windows editor would save it: UTF-8 BOM, CRLF endings,
+  // indented comment, blank CR-only line, and no newline after the last row.
+  std::istringstream in(
+      "\xEF\xBB\xBF# exported trace\r\n  # indented comment\r\n\r\nur\r\ndu\r\nuu");
+  EXPECT_EQ(read_trace(in), expected);
+}
+
+TEST(TraceIo, RoundTripPreservesTimelineWithCommentsInInput) {
+  using markov::State;
+  std::istringstream commented("# header comment\nur\n# interior comment\ndu\nuu\n");
+  const StateTimeline parsed = read_trace(commented);
+  ASSERT_EQ(parsed.size(), 3u);
+
+  // write_trace(read_trace(x)) re-reads to the identical timeline (comments
+  // are annotation, not data, so they are dropped — not corrupted).
+  std::ostringstream out;
+  write_trace(out, parsed);
+  EXPECT_EQ(out.str().find('#'), std::string::npos);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_trace(in), parsed);
+}
+
 TEST(TraceIo, FitRecoversTransitionMatrix) {
   // Sample a long trajectory from a known chain; the MLE fit converges.
   auto truth = markov::TransitionMatrix::from_self_loops(0.95, 0.9, 0.92);

@@ -1,8 +1,10 @@
 // Unit tests for src/util: rng, cli, table, csv, thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -77,6 +79,57 @@ TEST(Rng, DeriveSeedIsInjectiveish) {
     }
   }
   EXPECT_EQ(seeds.size(), 10000u);  // no collisions in a small grid
+}
+
+TEST(Rng, DeriveSeed2CellsNeverCollide) {
+  // The scenario grid derives seeds with derive_seed2(seed, cell, s); unlike
+  // the old additive scheme (cell * 1000 + s), no (cell, s) pair may alias a
+  // neighbouring cell's stream even when s exceeds 1000.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t cell = 0; cell < 40; ++cell) {
+    for (std::uint64_t s = 0; s < 1500; ++s) {
+      EXPECT_TRUE(seen.insert(util::derive_seed2(42, cell, s)).second)
+          << "collision at cell=" << cell << " s=" << s;
+    }
+  }
+  // The exact aliasing pair of the old scheme: (cell, 1000) vs (cell+1, 0).
+  EXPECT_NE(util::derive_seed2(42, 0, 1000), util::derive_seed2(42, 1, 0));
+}
+
+TEST(Rng, Uniform01MatchesDocumentedBitMapping) {
+  // uniform01 is pinned to u01_from_bits(engine draw): one draw per call,
+  // portable across standard libraries.
+  util::Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = a.uniform01();
+    EXPECT_EQ(u, util::u01_from_bits(b.engine()()));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01CutIsExactForAllCutpoints) {
+  // The fast-path contract: u01_from_bits(x) < c  <=>  min(x, kU01Top) <
+  // uniform01_cut(c), for every draw x — including the degenerate cut points
+  // c = 0 (never) and c = 1 (always) and values straddling the rounding
+  // boundary near 2^64.
+  std::vector<double> cuts = {0.0,  1e-300, 0x1p-64, 0.25, 0.5,
+                              0.95, 1.0 - 0x1p-53,   1.0,  1.0 + 1e-9};
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) cuts.push_back(rng.uniform01());
+
+  std::vector<std::uint64_t> draws = {0,       1,       2,       ~0ULL,
+                                      ~0ULL - 1, ~0ULL - 1024, ~0ULL - 2048};
+  for (int i = 0; i < 2000; ++i) draws.push_back(rng.engine()());
+
+  for (double c : cuts) {
+    const std::uint64_t cut = util::uniform01_cut(c);
+    for (std::uint64_t x : draws) {
+      const bool reference = util::u01_from_bits(x) < c;
+      const bool fast = std::min(x, util::kU01Top) < cut;
+      EXPECT_EQ(reference, fast) << "c=" << c << " x=" << x;
+    }
+  }
 }
 
 TEST(Rng, WeibullPositive) {
