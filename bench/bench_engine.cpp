@@ -1,12 +1,27 @@
-// Google-benchmark microbenchmarks of the simulation engine and the
-// scheduling decision path: end-to-end runs per heuristic class (slots/sec)
-// and a single incremental configuration build.
+// Engine benchmarks, in two modes:
+//
+//  * default: google-benchmark microbenchmarks of end-to-end runs per
+//    heuristic class (slots/sec, fast-forward on and off), one incremental
+//    configuration build, and raw availability stepping;
+//  * --emit_json[=PATH]: the CI perf smoke — run the reduced sweep per
+//    heuristic with the event-horizon fast path ON and OFF (same binary,
+//    same seeds), verify the outcomes are identical, and write
+//    machine-readable slots/sec + speedups to BENCH_engine.json. This seeds
+//    the perf trajectory: each CI run leaves a comparable artifact.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "api/api.hpp"
 #include "platform/scenario.hpp"
 #include "sched/incremental.hpp"
 #include "sched/registry.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -25,9 +40,12 @@ platform::Scenario bench_scenario(int m, long wmin) {
   return platform::make_scenario(bench_params(m, wmin));
 }
 
-void run_heuristic_benchmark(benchmark::State& state, const char* name) {
+void run_heuristic_benchmark(benchmark::State& state, const char* name,
+                             bool fast_forward) {
   const auto params = bench_params(static_cast<int>(state.range(0)), state.range(1));
-  api::Session session;
+  api::Options options;
+  options.fast_forward = fast_forward;
+  api::Session session(options);
   // Warm the session's scenario+estimator cache outside the timed region so
   // iterations measure the engine, not one-time construction (matching the
   // pre-facade benchmark semantics).
@@ -42,20 +60,40 @@ void run_heuristic_benchmark(benchmark::State& state, const char* name) {
       benchmark::Counter(static_cast<double>(slots), benchmark::Counter::kIsRate);
 }
 
-void BM_Run_RANDOM(benchmark::State& state) { run_heuristic_benchmark(state, "RANDOM"); }
-void BM_Run_IE(benchmark::State& state) { run_heuristic_benchmark(state, "IE"); }
-void BM_Run_YIE(benchmark::State& state) { run_heuristic_benchmark(state, "Y-IE"); }
-void BM_Run_EIAY(benchmark::State& state) { run_heuristic_benchmark(state, "E-IAY"); }
+void BM_Run_RANDOM(benchmark::State& state) {
+  run_heuristic_benchmark(state, "RANDOM", true);
+}
+void BM_Run_IE(benchmark::State& state) { run_heuristic_benchmark(state, "IE", true); }
+void BM_Run_YIE(benchmark::State& state) { run_heuristic_benchmark(state, "Y-IE", true); }
+void BM_Run_EIAY(benchmark::State& state) { run_heuristic_benchmark(state, "E-IAY", true); }
+// The per-slot ablation baselines (EngineOptions::fast_forward = false).
+void BM_Run_RANDOM_PerSlot(benchmark::State& state) {
+  run_heuristic_benchmark(state, "RANDOM", false);
+}
+void BM_Run_IE_PerSlot(benchmark::State& state) {
+  run_heuristic_benchmark(state, "IE", false);
+}
+void BM_Run_YIE_PerSlot(benchmark::State& state) {
+  run_heuristic_benchmark(state, "Y-IE", false);
+}
+void BM_Run_EIAY_PerSlot(benchmark::State& state) {
+  run_heuristic_benchmark(state, "E-IAY", false);
+}
 
 BENCHMARK(BM_Run_RANDOM)->Args({5, 2})->Args({10, 2});
 BENCHMARK(BM_Run_IE)->Args({5, 2})->Args({10, 2});
 BENCHMARK(BM_Run_YIE)->Args({5, 2})->Args({10, 2})->Args({5, 8});
 BENCHMARK(BM_Run_EIAY)->Args({5, 2});
+BENCHMARK(BM_Run_RANDOM_PerSlot)->Args({5, 2});
+BENCHMARK(BM_Run_IE_PerSlot)->Args({5, 2});
+BENCHMARK(BM_Run_YIE_PerSlot)->Args({5, 2})->Args({5, 8});
+BENCHMARK(BM_Run_EIAY_PerSlot)->Args({5, 2});
 
 void BM_IncrementalBuild(benchmark::State& state) {
   const auto scenario = bench_scenario(static_cast<int>(state.range(0)), 2);
   sched::Estimator est(scenario.platform, scenario.app, 1e-6);
   sched::IncrementalBuilder builder(sched::Rule::IE, est);
+  builder.set_memo(false);  // measure the build itself, not the memo hit
 
   std::vector<markov::State> states(static_cast<std::size_t>(scenario.platform.size()),
                                     markov::State::Up);
@@ -84,6 +122,142 @@ void BM_AvailabilityAdvance(benchmark::State& state) {
 }
 BENCHMARK(BM_AvailabilityAdvance);
 
+// ---------------------------------------------------------------------------
+// --emit_json mode: reduced-sweep fast-forward comparison.
+// ---------------------------------------------------------------------------
+
+/// Accumulates a thread-count-independent digest of a sweep's outcomes, so
+/// the ON and OFF runs can be proven identical before their timings are
+/// reported. The digest folds every per-trial counter (XOR of per-row
+/// hashes: commutative, so completion order does not matter).
+class DigestSink final : public api::ResultSink {
+ public:
+  void consume(const api::ResultRow& row) override {
+    const sim::SimulationResult& r = *row.result;
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(row.heuristic));
+    mix(static_cast<std::uint64_t>(row.scenario));
+    mix(static_cast<std::uint64_t>(row.trial));
+    mix(static_cast<std::uint64_t>(r.makespan));
+    mix(static_cast<std::uint64_t>(r.success ? 1 : 0));
+    mix(static_cast<std::uint64_t>(r.total_restarts));
+    mix(static_cast<std::uint64_t>(r.total_reconfigurations));
+    mix(static_cast<std::uint64_t>(r.idle_slots));
+    for (const auto& it : r.iterations) {
+      mix(static_cast<std::uint64_t>(it.start_slot));
+      mix(static_cast<std::uint64_t>(it.end_slot));
+      mix(static_cast<std::uint64_t>(it.comm_slots));
+      mix(static_cast<std::uint64_t>(it.stalled_slots));
+      mix(static_cast<std::uint64_t>(it.compute_slots));
+      mix(static_cast<std::uint64_t>(it.suspended_slots));
+    }
+    digest_ ^= h;  // order-independent fold
+    slots_ += r.makespan;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+  [[nodiscard]] long slots() const noexcept { return slots_; }
+
+ private:
+  std::uint64_t digest_ = 0;
+  long slots_ = 0;
+};
+
+struct SweepTiming {
+  double seconds = 0.0;
+  long slots = 0;
+  std::uint64_t digest = 0;
+};
+
+SweepTiming run_sweep(const api::ExperimentSpec& base, const std::string& heuristic,
+                      bool fast_forward) {
+  api::ExperimentSpec spec = base;
+  spec.heuristics = {heuristic};
+  spec.options.fast_forward = fast_forward;
+  api::Session session(spec.options);
+  DigestSink digest;
+  const auto t0 = std::chrono::steady_clock::now();
+  session.run(spec, {&digest});
+  SweepTiming out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.slots = digest.slots();
+  out.digest = digest.digest();
+  return out;
+}
+
+int emit_json(const util::Cli& cli) {
+  const std::string path = [&] {
+    auto v = cli.value("emit_json");
+    return (v && !v->empty()) ? *v : std::string("BENCH_engine.json");
+  }();
+
+  api::ExperimentSpec spec =
+      api::ExperimentSpec::reduced(static_cast<int>(cli.get_long("m", 5)),
+                                   cli.get_long("cap", 200'000));
+  spec.grid.scenarios_per_cell =
+      static_cast<int>(cli.get_long("scenarios", spec.grid.scenarios_per_cell));
+  spec.trials = static_cast<int>(cli.get_long("trials", spec.trials));
+  spec.options.threads = 1;  // timings must not depend on core count
+
+  const std::vector<std::string> heuristics = {
+      "IP", "IE", "IAY",              // passive
+      "P-IE", "E-IE", "E-IAY", "Y-IE",  // memoized proactive
+      "IY", "RANDOM",                 // per-slot by contract (no skipping)
+  };
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_engine: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"engine_fast_forward\",\n"
+      << "  \"sweep\": {\"m\": " << spec.grid.ms[0]
+      << ", \"scenarios_per_cell\": " << spec.grid.scenarios_per_cell
+      << ", \"trials\": " << spec.trials << ", \"slot_cap\": " << spec.options.slot_cap
+      << "},\n  \"heuristics\": [\n";
+
+  bool all_identical = true;
+  for (std::size_t i = 0; i < heuristics.size(); ++i) {
+    const std::string& name = heuristics[i];
+    const SweepTiming off = run_sweep(spec, name, false);
+    const SweepTiming on = run_sweep(spec, name, true);
+    const bool identical = on.digest == off.digest && on.slots == off.slots;
+    all_identical = all_identical && identical;
+    const double on_rate = static_cast<double>(on.slots) / on.seconds;
+    const double off_rate = static_cast<double>(off.slots) / off.seconds;
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"slots\": %ld, "
+                  "\"slots_per_sec_fast_forward\": %.0f, "
+                  "\"slots_per_sec_per_slot\": %.0f, \"speedup\": %.3f, "
+                  "\"identical\": %s}%s\n",
+                  name.c_str(), on.slots, on_rate, off_rate, on_rate / off_rate,
+                  identical ? "true" : "false",
+                  i + 1 < heuristics.size() ? "," : "");
+    out << buf;
+    std::fprintf(stderr, "%-6s %9ld slots  ff %8.0f/s  per-slot %8.0f/s  x%.2f  %s\n",
+                 name.c_str(), on.slots, on_rate, off_rate, on_rate / off_rate,
+                 identical ? "identical" : "MISMATCH");
+  }
+  out << "  ],\n  \"all_identical\": " << (all_identical ? "true" : "false")
+      << "\n}\n";
+  std::fprintf(stderr, "bench_engine: wrote %s\n", path.c_str());
+  return all_identical ? 0 : 2;  // CI fails on any fast-forward divergence
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.has("emit_json")) return emit_json(cli);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,8 +21,12 @@ struct Options {
   long slot_cap = 1'000'000;  ///< fail a run when its makespan reaches this
   sim::CommOrder comm_order = sim::CommOrder::Enrollment;  ///< master service order
   bool record_trace = false;  ///< keep per-slot activity traces (costly)
-  long avail_block = 256;     ///< slots per availability fill_block pull; any
+  long avail_block = 64;      ///< slots per availability fill_block pull; any
                               ///< value >= 1 yields identical simulations
+  bool fast_forward = true;   ///< event-horizon engine loop (DESIGN.md §8);
+                              ///< results are bit-identical either way —
+                              ///< false forces the legacy per-slot loop
+                              ///< (ablation baseline)
 
   // --- estimator -----------------------------------------------------------
   double eps = 1e-6;  ///< truncation precision of the §V series
@@ -42,6 +46,7 @@ struct Options {
     e.record_trace = record_trace || force_trace;
     e.comm_order = comm_order;
     e.avail_block = avail_block;
+    e.fast_forward = fast_forward;
     return e;
   }
 };

@@ -18,6 +18,7 @@
 // distribution via the renewal recursion below.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -72,6 +73,17 @@ struct CoupledStats {
   /// expected number of slots to obtain W all-UP slots, conditioned on
   /// success. Returns 0 for w <= 0.
   [[nodiscard]] double expected_time(long w) const;
+
+ private:
+  /// Lazily grown memo of (success_prob, expected_time) indexed by w: the
+  /// incremental heuristics evaluate m*p candidates per decision, each
+  /// costing pow() calls for a handful of distinct small w values. Entries
+  /// are computed once through the very expressions above, so memoized and
+  /// unmemoized calls return identical doubles. NOT thread-safe — callers
+  /// already own one Estimator (and thus these) per thread.
+  static constexpr long kMaxMemoW = 4096;  ///< larger w falls through to pow()
+  const std::array<double, 2>& wtab(long w) const;
+  mutable std::vector<std::array<double, 2>> wtab_;
 };
 
 /// Evaluate CoupledStats for a set of processors at precision eps.

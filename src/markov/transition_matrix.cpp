@@ -6,7 +6,9 @@
 namespace tcgrid::markov {
 
 TransitionMatrix::TransitionMatrix()
-    : p_{{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}}} {}
+    : p_{{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}}} {
+  compute_cuts();
+}
 
 TransitionMatrix::TransitionMatrix(const std::array<std::array<double, 3>, 3>& p)
     : p_(p) {
@@ -21,6 +23,18 @@ TransitionMatrix::TransitionMatrix(const std::array<std::array<double, 3>, 3>& p
     if (std::abs(sum - 1.0) > 1e-9) {
       throw std::invalid_argument("TransitionMatrix: row does not sum to 1");
     }
+  }
+  compute_cuts();
+}
+
+void TransitionMatrix::compute_cuts() noexcept {
+  for (std::size_t from = 0; from < 3; ++from) {
+    const auto f = static_cast<State>(from);
+    const double pu = prob(f, State::Up);
+    // The second cut uses the same one-time sum markov::step computes per
+    // call, so the double it searches against is the identical IEEE value.
+    cuts_[from][0] = util::uniform01_cut(pu);
+    cuts_[from][1] = util::uniform01_cut(pu + prob(f, State::Reclaimed));
   }
 }
 

@@ -52,8 +52,22 @@ class TransitionMatrix {
   /// Long-run fraction of time the processor is UP.
   [[nodiscard]] double availability() const { return stationary()[0]; }
 
+  /// Integer cut points of each row for block-stepped sampling (see
+  /// util::uniform01_cut): a raw draw x from state `from` steps to UP when
+  /// min(x, kU01Top) < table[from][0], to RECLAIMED when < table[from][1],
+  /// else to DOWN. Precomputed at construction: availability sources for
+  /// thousands of paired trials share one platform's matrices, so the
+  /// 64-step binary searches behind the cuts must not be redone per trial.
+  [[nodiscard]] const std::array<std::array<std::uint64_t, 2>, 3>& step_cut_table()
+      const noexcept {
+    return cuts_;
+  }
+
  private:
+  void compute_cuts() noexcept;
+
   std::array<std::array<double, 3>, 3> p_;
+  std::array<std::array<std::uint64_t, 2>, 3> cuts_{};
 };
 
 }  // namespace tcgrid::markov

@@ -6,16 +6,11 @@
 namespace tcgrid::platform {
 
 StepCuts step_cuts(const markov::TransitionMatrix& m) {
-  StepCuts cuts;
-  for (std::size_t from = 0; from < markov::kNumStates; ++from) {
-    const auto f = static_cast<markov::State>(from);
-    const double pu = m.prob(f, markov::State::Up);
-    // The second cut uses the same one-time sum markov::step computes per
-    // call, so the double it searches against is the identical IEEE value.
-    cuts[from][0] = util::uniform01_cut(pu);
-    cuts[from][1] = util::uniform01_cut(pu + m.prob(f, markov::State::Reclaimed));
-  }
-  return cuts;
+  // The matrix precomputes its cut table at construction (the binary
+  // searches are too costly to redo per availability source when thousands
+  // of paired trials share one platform); this keeps the historical entry
+  // point.
+  return m.step_cut_table();
 }
 
 std::vector<markov::State> sample_initial_states(const Platform& platform,

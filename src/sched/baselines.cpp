@@ -62,7 +62,12 @@ std::vector<int> up_workers(const sim::SchedulerView& view) {
 
 std::optional<model::Configuration> FastestScheduler::decide(
     const sim::SchedulerView& view) {
-  if (view.has_config()) return std::nullopt;
+  if (view.has_config()) {
+    q_.kind = sim::Quiescence::Kind::WhileConfigured;
+    return std::nullopt;
+  }
+  // Idle decisions are a pure function of the UP set (holdings-blind).
+  q_.kind = sim::Quiescence::Kind::UntilUpSetChanges;
   const auto& plat = *view.platform;
   const int m = view.app->num_tasks;
 
@@ -95,7 +100,11 @@ std::optional<model::Configuration> FastestScheduler::decide(
 
 std::optional<model::Configuration> MostAvailableScheduler::decide(
     const sim::SchedulerView& view) {
-  if (view.has_config()) return std::nullopt;
+  if (view.has_config()) {
+    q_.kind = sim::Quiescence::Kind::WhileConfigured;
+    return std::nullopt;
+  }
+  q_.kind = sim::Quiescence::Kind::UntilUpSetChanges;
   auto ranked = up_workers(view);
   const auto& plat = *view.platform;
   std::stable_sort(ranked.begin(), ranked.end(), [&](int a, int b) {

@@ -34,23 +34,43 @@
 namespace tcgrid::sched {
 
 /// Clock-rate baseline: greedy min-W placement, reliability-blind.
+///
+/// Quiescence: WhileConfigured once enrolled (never preempts); with no
+/// configuration the placement is a pure function of the UP set, so a "no
+/// placement" answer holds until ANY UP-membership changes.
 class FastestScheduler final : public sim::Scheduler {
  public:
   std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] const sim::Quiescence& quiescence() const override { return q_; }
   [[nodiscard]] std::string_view name() const override { return "FASTEST"; }
+
+ private:
+  sim::Quiescence q_;
 };
 
 /// Static availability ranking: one task at a time, round-robin over the UP
 /// workers sorted by stationary UP probability (speed as tie-break).
+///
+/// Quiescence: like FASTEST. Note the ranking means a worker LEAVING the UP
+/// set can promote a higher-capacity worker into the round-robin window and
+/// turn an infeasible placement feasible, so the idle answer is only stable
+/// while the whole UP set is unchanged (UntilUpSetChanges, not gains-only).
 class MostAvailableScheduler final : public sim::Scheduler {
  public:
   std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] const sim::Quiescence& quiescence() const override { return q_; }
   [[nodiscard]] std::string_view name() const override { return "MOSTAVAIL"; }
+
+ private:
+  sim::Quiescence q_;
 };
 
 /// Observed-uptime ranking: tracks each processor's current UP streak from
 /// the states it has seen (nothing else), and round-robins over the longest
 /// streaks. Completely model-free.
+///
+/// Quiescence: EverySlot (the base-class default) — the streak counters must
+/// observe every slot, so the engine may never skip a consult.
 class UptimeScheduler final : public sim::Scheduler {
  public:
   std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
@@ -70,6 +90,9 @@ class UptimeScheduler final : public sim::Scheduler {
 /// Model-free wrapper around the paper's heuristics: observes states,
 /// maintains per-processor transition counts, and periodically re-fits the
 /// Markov model the inner heuristic uses.
+///
+/// Quiescence: EverySlot (the base-class default) — the transition counts
+/// must observe every slot, so the engine may never skip a consult.
 class AdaptiveScheduler final : public sim::Scheduler {
  public:
   /// `criterion` empty -> passive rule; otherwise proactive criterion-rule.

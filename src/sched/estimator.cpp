@@ -8,7 +8,53 @@ namespace tcgrid::sched {
 namespace {
 // Bound the memoization table; reached only by pathological runs.
 constexpr std::size_t kMaxCachedSets = std::size_t{1} << 22;
+
+// Finalizer of splitmix64: full-avalanche mixing of the set bitmask.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
 }  // namespace
+
+markov::CoupledStats& Estimator::SetCache::lookup(std::uint64_t key, bool& fresh) {
+  if (table_.empty() || size_ * 4 >= table_.size() * 3) grow();
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+  while (table_[i].slot >= 0 && table_[i].key != key) i = (i + 1) & mask;
+  auto& e = table_[i];
+  if (e.slot < 0) {
+    if (size_ % kChunk == 0) {
+      chunks_.push_back(std::make_unique<markov::CoupledStats[]>(kChunk));
+    }
+    e.key = key;
+    e.slot = static_cast<std::int32_t>(size_++);
+    fresh = true;
+  }
+  const auto slot = static_cast<std::size_t>(e.slot);
+  return chunks_[slot / kChunk][slot % kChunk];
+}
+
+void Estimator::SetCache::grow() {
+  std::vector<Entry> old = std::move(table_);
+  table_.assign(old.empty() ? 1024 : old.size() * 2, Entry{});
+  const std::size_t mask = table_.size() - 1;
+  for (const Entry& e : old) {
+    if (e.slot < 0) continue;
+    std::size_t i = static_cast<std::size_t>(mix64(e.key)) & mask;
+    while (table_[i].slot >= 0) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+}
+
+void Estimator::SetCache::clear() {
+  table_.clear();
+  chunks_.clear();
+  size_ = 0;
+}
 
 Estimator::Estimator(const platform::Platform& platform, const model::Application& app,
                      double eps)
@@ -30,14 +76,15 @@ Estimator::Estimator(const platform::Platform& platform, const model::Applicatio
 const markov::CoupledStats& Estimator::set_stats(std::span<const int> set) const {
   std::uint64_t key = 0;
   for (int q : set) key |= std::uint64_t{1} << q;
-  auto it = set_cache_.find(key);
-  if (it != set_cache_.end()) return it->second;
-
-  scratch_.clear();
-  for (int q : set) scratch_.push_back(ur_[static_cast<std::size_t>(q)]);
   if (set_cache_.size() >= kMaxCachedSets) set_cache_.clear();
-  auto [ins, _] = set_cache_.emplace(key, markov::coupled_stats(scratch_, eps_));
-  return ins->second;
+  bool fresh = false;
+  markov::CoupledStats& stats = set_cache_.lookup(key, fresh);
+  if (fresh) {
+    scratch_.clear();
+    for (int q : set) scratch_.push_back(ur_[static_cast<std::size_t>(q)]);
+    stats = markov::coupled_stats(scratch_, eps_);
+  }
+  return stats;
 }
 
 double Estimator::p_no_down(int q, long t) const {
@@ -45,6 +92,13 @@ double Estimator::p_no_down(int q, long t) const {
   auto& table = survival_[static_cast<std::size_t>(q)];
   if (table.empty()) table.push_back(1.0);  // t = 0
   if (static_cast<long>(table.size()) <= t) {
+    // Underflow cap: the survival probability is a sum of non-negative
+    // doubles, so once an entry is exactly 0.0 every later entry is the
+    // identical 0.0 — stop tabulating and answer 0.0 directly. Without
+    // this, near-hopeless communication phases (e_comm grows exponentially
+    // in the remaining slots) extend the table to millions of explicit
+    // zeros and dominate whole sweeps.
+    if (table.back() == 0.0) return 0.0;
     // Extend the survival table: table[k] = P(not DOWN within k slots).
     markov::UrRow row;
     // Recover the row at the current table end by replaying; tables only
@@ -57,7 +111,9 @@ double Estimator::p_no_down(int q, long t) const {
     while (static_cast<long>(table.size()) <= target) {
       row.advance(m);
       table.push_back(row.survival());
+      if (table.back() == 0.0) break;  // all later entries are equal zeros
     }
+    if (static_cast<long>(table.size()) <= t) return 0.0;
   }
   return table[static_cast<std::size_t>(t)];
 }

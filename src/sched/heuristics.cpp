@@ -5,17 +5,48 @@
 
 namespace tcgrid::sched {
 
+namespace {
+
+using Kind = sim::Quiescence::Kind;
+
+void report(sim::Quiescence& q, Kind kind,
+            long horizon = sim::Quiescence::kUnbounded) {
+  q.kind = kind;
+  q.horizon = horizon;
+  q.watched.clear();
+}
+
+/// "No feasible placement" depends only on the UP set's total capacity
+/// (IncrementalBuilder::build fails exactly when fewer than m task slots
+/// are UP), so the answer holds — for every rule, elapsed time included —
+/// until some worker joins the UP set. UP-set shrinks keep it infeasible.
+void report_infeasible(sim::Quiescence& q) { report(q, Kind::UntilEvent); }
+
+}  // namespace
+
 std::optional<model::Configuration> PassiveScheduler::decide(
     const sim::SchedulerView& view) {
-  if (view.has_config()) return std::nullopt;
+  if (view.has_config()) {
+    report(q_, Kind::WhileConfigured);
+    return std::nullopt;
+  }
   auto built = builder_.build(view);
-  if (built.config.empty()) return std::nullopt;
+  if (built.config.empty()) {
+    report_infeasible(q_);
+    return std::nullopt;
+  }
+  // The answer installs a configuration the policy will then never preempt.
+  report(q_, Kind::WhileConfigured);
   return std::move(built.config);
 }
 
 std::optional<model::Configuration> RandomScheduler::decide(
     const sim::SchedulerView& view) {
-  if (view.has_config()) return std::nullopt;
+  if (view.has_config()) {
+    report(q_, Kind::WhileConfigured);  // passive while enrolled: no RNG use
+    return std::nullopt;
+  }
+  report(q_, Kind::EverySlot);  // every idle consult may draw from the RNG
   const auto& plat = *view.platform;
   const int p = plat.size();
   const int m = view.app->num_tasks;
@@ -51,11 +82,11 @@ ProactiveScheduler::ProactiveScheduler(Criterion crit, Rule rule,
 
 IterationEstimate ProactiveScheduler::current_estimate(
     const sim::SchedulerView& view) const {
-  std::vector<int> set;
-  std::vector<Estimator::CommNeed> needs;
+  auto& set = cur_set_;
+  auto& needs = cur_needs_;
+  set.clear();
+  needs.clear();
   const auto& cfg = *view.config;
-  set.reserve(cfg.size());
-  needs.reserve(cfg.size());
   for (const auto& a : cfg.assignments()) {
     set.push_back(a.proc);
     needs.push_back({a.proc, view.comm_remaining[static_cast<std::size_t>(a.proc)]});
@@ -65,61 +96,76 @@ IterationEstimate ProactiveScheduler::current_estimate(
   return builder_.estimator().evaluate(needs, set, w);
 }
 
-const BuiltConfiguration& ProactiveScheduler::candidate(const sim::SchedulerView& view) {
-  const bool use_cache = caching_ && builder_.rule() != Rule::IY;
-  if (use_cache) {
-    const std::uint64_t key = signature(view);
-    if (cache_valid_ && key == cache_key_) return cache_value_;
-    cache_value_ = builder_.build(view);
-    cache_key_ = key;
-    cache_valid_ = true;
-    return cache_value_;
+long ProactiveScheduler::stable_horizon(const IterationEstimate& cur,
+                                        const IterationEstimate& cand,
+                                        long elapsed) const {
+  // The Y criterion's scores decay with elapsed time at different rates, so
+  // a "no switch" verdict can flip with no state change. Replay decide()'s
+  // EXACT comparison at the elapsed values of upcoming slots: the count of
+  // future slots still deciding "no switch" is a horizon the engine can
+  // skip through bit-identically. The cap bounds the (cheap) scan; real
+  // runs hit a membership event long before 64 quiet slots pass.
+  constexpr long kCap = 64;
+  for (long h = 1; h <= kCap; ++h) {
+    if (criterion_score(crit_, cand, elapsed + h) >
+        criterion_score(crit_, cur, elapsed + h)) {
+      return h - 1;
+    }
   }
-  cache_value_ = builder_.build(view);
-  cache_valid_ = false;
-  return cache_value_;
+  return kCap;
 }
 
-std::uint64_t ProactiveScheduler::signature(const sim::SchedulerView& view) {
-  // FNV-1a over the decision-relevant inputs: per-processor UP bit,
-  // has_program bit, and completed data-message count.
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  for (std::size_t q = 0; q < view.states.size(); ++q) {
-    std::uint64_t v = view.states[q] == markov::State::Up ? 1 : 0;
-    v |= static_cast<std::uint64_t>(view.holdings[q].has_program ? 1 : 0) << 1;
-    v |= static_cast<std::uint64_t>(
-             std::min(view.holdings[q].data_messages, 0xffff))
-         << 2;
-    mix(v + (static_cast<std::uint64_t>(q) << 32));
+void ProactiveScheduler::report_no_switch(const BuiltConfiguration& cand,
+                                          const IterationEstimate& cur,
+                                          long elapsed) {
+  // IY candidates depend on elapsed time and compute crediting makes the
+  // current estimate change every compute slot: both make the answer
+  // time-varying in ways no event predicts.
+  if (builder_.rule() == Rule::IY || credit_compute_) {
+    report(q_, Kind::EverySlot);
+    return;
   }
-  return h;
+  q_.kind = Kind::UntilEvent;
+  q_.horizon = crit_ == Criterion::Y ? stable_horizon(cur, cand.estimate, elapsed)
+                                     : sim::Quiescence::kUnbounded;
+  // Watch the candidate's workers: a membership change of any of them can
+  // change the candidate. UP-set shrinks outside this set cannot (the
+  // incremental argmax never changes when a non-chosen option disappears),
+  // and joins are engine-side events already.
+  q_.watched.clear();
+  for (const auto& a : cand.config.assignments()) q_.watched.push_back(a.proc);
 }
 
 std::optional<model::Configuration> ProactiveScheduler::decide(
     const sim::SchedulerView& view) {
   if (!view.has_config()) {
-    cache_valid_ = false;
     auto built = builder_.build(view);
-    if (built.config.empty()) return std::nullopt;
+    if (built.config.empty()) {
+      report_infeasible(q_);
+      return std::nullopt;
+    }
+    report(q_, Kind::EverySlot);  // fresh epoch: transfers start next slot
     return std::move(built.config);
   }
 
   const IterationEstimate cur = current_estimate(view);
   const double c = criterion_score(crit_, cur, view.iteration_elapsed);
 
-  const BuiltConfiguration& cand = candidate(view);
-  if (cand.config.empty()) return std::nullopt;
+  const BuiltConfiguration& cand = builder_.build_memoized(view);
+  if (cand.config.empty()) {
+    // No feasible alternative: "keep" holds until a worker joins the UP set,
+    // whatever the criterion values do.
+    report_infeasible(q_);
+    return std::nullopt;
+  }
   const double c2 = criterion_score(crit_, cand.estimate, view.iteration_elapsed);
 
   if (c2 > c) {
     model::Configuration chosen = cand.config;
-    cache_valid_ = false;
+    report(q_, Kind::EverySlot);
     return chosen;
   }
+  report_no_switch(cand, cur, view.iteration_elapsed);
   return std::nullopt;
 }
 

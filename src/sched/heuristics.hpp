@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "sched/incremental.hpp"
 #include "sim/scheduler.hpp"
@@ -19,30 +21,44 @@ namespace tcgrid::sched {
 /// Passive heuristic: keeps the current configuration as long as possible;
 /// builds a new one only when none is in place (run start, iteration start,
 /// or after an enrolled worker went DOWN).
+///
+/// Quiescence: WhileConfigured — decide() unconditionally keeps an installed
+/// configuration, reading nothing. With no configuration and no feasible
+/// placement, the answer is stable until a worker joins the UP set
+/// (infeasibility depends only on the UP set's total capacity, so it is
+/// elapsed-independent even for the IY rule).
 class PassiveScheduler final : public sim::Scheduler {
  public:
   PassiveScheduler(Rule rule, const Estimator& estimator)
       : builder_(rule, estimator), name_(to_string(rule)) {}
 
   std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] const sim::Quiescence& quiescence() const override { return q_; }
   [[nodiscard]] std::string_view name() const override { return name_; }
 
  private:
   IncrementalBuilder builder_;
   std::string name_;
+  sim::Quiescence q_;
 };
 
 /// Baseline: allocates each task to a uniformly random UP worker with spare
 /// capacity; passive otherwise.
+///
+/// Quiescence: WhileConfigured with a configuration in place (no RNG is
+/// touched), EverySlot otherwise — idle consults draw from the RNG, so
+/// skipping any would shift the random stream.
 class RandomScheduler final : public sim::Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
 
   std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] const sim::Quiescence& quiescence() const override { return q_; }
   [[nodiscard]] std::string_view name() const override { return "RANDOM"; }
 
  private:
   util::Rng rng_;
+  sim::Quiescence q_;
 };
 
 /// Proactive heuristic C-H (criterion `crit`, builder rule `rule`).
@@ -56,18 +72,29 @@ class RandomScheduler final : public sim::Scheduler {
 ///
 /// The candidate depends only on (UP set, holdings) — and additionally on
 /// elapsed time for the IY rule — so it is memoized on a signature of those
-/// inputs; IY rebuilds every slot.
+/// inputs in the estimator's shared build memo (availability flaps and
+/// paired trials revisit the same signatures over and over, and a rebuild
+/// costs m*p estimator evaluations). IY rebuilds every slot.
+/// Quiescence (see DESIGN.md §8): after a "no switch" answer under a
+/// non-IY rule without compute crediting, the decision is stable until a
+/// worker joins the UP set or a candidate worker's UP-membership changes
+/// (UntilEvent, watching the memoized candidate's workers). The Y criterion
+/// additionally reports a slot horizon: its scores decay with elapsed time,
+/// so the no-switch comparison can flip with no state change at all; the
+/// horizon is found by replaying decide()'s exact floating-point comparison
+/// at future elapsed values, which keeps fast-forwarded runs bit-identical.
 class ProactiveScheduler final : public sim::Scheduler {
  public:
   ProactiveScheduler(Criterion crit, Rule rule, const Estimator& estimator);
 
   std::optional<model::Configuration> decide(const sim::SchedulerView& view) override;
+  [[nodiscard]] const sim::Quiescence& quiescence() const override { return q_; }
   [[nodiscard]] std::string_view name() const override { return name_; }
 
   /// Disable candidate memoization (ablation benches only; results must be
   /// identical with or without it, except for the IY rule where it is
   /// always off).
-  void set_caching(bool on) noexcept { caching_ = on; }
+  void set_caching(bool on) noexcept { builder_.set_memo(on); }
 
   /// Whether the current configuration's refreshed criterion credits the
   /// compute slots already banked (W_remaining instead of the full W).
@@ -83,18 +110,22 @@ class ProactiveScheduler final : public sim::Scheduler {
 
  private:
   [[nodiscard]] IterationEstimate current_estimate(const sim::SchedulerView& view) const;
-  [[nodiscard]] const BuiltConfiguration& candidate(const sim::SchedulerView& view);
-  [[nodiscard]] static std::uint64_t signature(const sim::SchedulerView& view);
+  [[nodiscard]] long stable_horizon(const IterationEstimate& cur,
+                                    const IterationEstimate& cand,
+                                    long elapsed) const;
+  void report_no_switch(const BuiltConfiguration& cand, const IterationEstimate& cur,
+                        long elapsed);
 
   Criterion crit_;
   IncrementalBuilder builder_;
   std::string name_;
-  bool caching_ = true;
   bool credit_compute_ = false;
 
-  bool cache_valid_ = false;
-  std::uint64_t cache_key_ = 0;
-  BuiltConfiguration cache_value_;
+  // Scratch for current_estimate (hoisted allocations).
+  mutable std::vector<int> cur_set_;
+  mutable std::vector<Estimator::CommNeed> cur_needs_;
+
+  sim::Quiescence q_;
 };
 
 }  // namespace tcgrid::sched

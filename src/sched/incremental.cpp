@@ -21,18 +21,52 @@ long fresh_need(const sim::SchedulerView& view, int q, int x) {
 
 }  // namespace
 
-BuiltConfiguration IncrementalBuilder::build(const sim::SchedulerView& view) const {
+std::uint64_t view_signature(const sim::SchedulerView& view) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (std::size_t q = 0; q < view.states.size(); ++q) {
+    std::uint64_t v = view.states[q] == markov::State::Up ? 1 : 0;
+    v |= static_cast<std::uint64_t>(view.holdings[q].has_program ? 1 : 0) << 1;
+    v |= static_cast<std::uint64_t>(std::min(view.holdings[q].data_messages, 0xffff))
+         << 2;
+    mix(v + (static_cast<std::uint64_t>(q) << 32));
+  }
+  return h;
+}
+
+const BuiltConfiguration& IncrementalBuilder::build_memoized(
+    const sim::SchedulerView& view) const {
+  if (!memo_ || rule_ == Rule::IY) {
+    uncached_ = build_fresh(view);
+    return uncached_;
+  }
+  // Fold the rule into the key: rules share one estimator (and memo) within
+  // a sweep scenario.
+  std::uint64_t key = view_signature(view);
+  key ^= static_cast<std::uint64_t>(rule_) + 0x9e3779b97f4a7c15ULL;
+  key *= 1099511628211ULL;
+  auto& memo = estimator_->build_memo();
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  return memo.emplace(key, build_fresh(view)).first->second;
+}
+
+BuiltConfiguration IncrementalBuilder::build_fresh(const sim::SchedulerView& view) const {
   const auto& plat = *view.platform;
   const int p = plat.size();
   const int m = view.app->num_tasks;
 
-  std::vector<int> loads(static_cast<std::size_t>(p), 0);
-  std::vector<int> order;  // enrollment order of workers with >= 1 task
-  order.reserve(static_cast<std::size_t>(m));
+  auto& loads = loads_;  // per-proc task counts of the partial configuration
+  loads.assign(static_cast<std::size_t>(p), 0);
+  auto& order = order_;  // enrollment order of workers with >= 1 task
+  order.clear();
 
   // Scratch buffers reused across candidate evaluations.
-  std::vector<int> cand_set;
-  std::vector<Estimator::CommNeed> cand_needs;
+  auto& cand_set = cand_set_;
+  auto& cand_needs = cand_needs_;
   IterationEstimate chosen_est{};
 
   long w_current = 0;  // max_q loads[q] * w_q over enrolled workers

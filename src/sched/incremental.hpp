@@ -16,12 +16,22 @@
 
 namespace tcgrid::sched {
 
-/// Result of building a candidate configuration.
-struct BuiltConfiguration {
-  model::Configuration config;  ///< empty if no feasible placement exists
-  IterationEstimate estimate;   ///< estimate of the *full* iteration on it
-};
+/// Result of building a candidate configuration: the configuration (empty if
+/// no feasible placement exists) and the estimate of the *full* iteration on
+/// it. Aliases the estimator's memo entry type — build results are memoized
+/// at the estimator level (shared across the schedulers and trials of a
+/// scenario).
+using BuiltConfiguration = MemoizedBuild;
 
+/// FNV-1a signature of everything a (non-IY) incremental build reads from a
+/// view: per-processor UP bit, has_program bit, and completed data-message
+/// count. Two views with equal signatures and the same platform/application
+/// (the estimator's) produce identical builds.
+[[nodiscard]] std::uint64_t view_signature(const sim::SchedulerView& view);
+
+/// Like the Estimator it drives, a builder is NOT thread-safe: build()
+/// reuses internal scratch buffers (a build runs m*p candidate evaluations;
+/// allocating per call would dominate it). Use one per run/thread.
 class IncrementalBuilder {
  public:
   IncrementalBuilder(Rule rule, const Estimator& estimator)
@@ -30,10 +40,25 @@ class IncrementalBuilder {
   [[nodiscard]] Rule rule() const noexcept { return rule_; }
   [[nodiscard]] const Estimator& estimator() const noexcept { return *estimator_; }
 
-  /// Build a configuration from scratch for the current view (assumes any
-  /// existing configuration would be abandoned: partial transfers are not
-  /// credited; completed program/data are, per the model).
-  [[nodiscard]] BuiltConfiguration build(const sim::SchedulerView& view) const;
+  /// Build a configuration for the current view (assumes any existing
+  /// configuration would be abandoned: partial transfers are not credited;
+  /// completed program/data are, per the model). Non-IY builds are memoized
+  /// in the estimator's build memo keyed by view_signature — a build is a
+  /// pure function of the signed inputs plus the estimator's fixed
+  /// platform/application, so hits return exactly what a rebuild would.
+  /// The reference is valid until the next build through this estimator.
+  [[nodiscard]] const BuiltConfiguration& build_memoized(
+      const sim::SchedulerView& view) const;
+
+  /// build_memoized, returning a copy (convenience for install paths).
+  [[nodiscard]] BuiltConfiguration build(const sim::SchedulerView& view) const {
+    return build_memoized(view);
+  }
+
+  /// Disable the memo (ablation: results must be identical either way; the
+  /// IY rule always bypasses it — its score depends on elapsed time, which
+  /// the signature cannot cover).
+  void set_memo(bool on) noexcept { memo_ = on; }
 
   /// Estimate an arbitrary configuration from scratch under the same
   /// accounting as build() (used to score proactive candidates and, with
@@ -42,8 +67,19 @@ class IncrementalBuilder {
                                                  const model::Configuration& cfg) const;
 
  private:
+  [[nodiscard]] BuiltConfiguration build_fresh(const sim::SchedulerView& view) const;
+
   Rule rule_;
   const Estimator* estimator_;
+  bool memo_ = true;
+
+  // Scratch reused across build calls (cleared on entry, never observable
+  // between calls).
+  mutable BuiltConfiguration uncached_;
+  mutable std::vector<int> loads_;
+  mutable std::vector<int> order_;
+  mutable std::vector<int> cand_set_;
+  mutable std::vector<Estimator::CommNeed> cand_needs_;
 };
 
 }  // namespace tcgrid::sched

@@ -1,7 +1,9 @@
 // Time-slot simulation engine implementing the paper's execution model
-// (§III-C). See DESIGN.md §5 for the slot-by-slot semantics.
+// (§III-C). See DESIGN.md §5 for the slot-by-slot semantics and §8 for the
+// event-horizon fast-forward loop.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "model/application.hpp"
@@ -36,14 +38,27 @@ struct EngineOptions {
   /// observe scheduling decisions). Note the prefetch: after run() the
   /// source may have been advanced up to avail_block - 1 slots past the
   /// last simulated slot, so a caller-supplied source should not be reused
-  /// to continue the same stream.
-  long avail_block = 256;
+  /// to continue the same stream. The default balances the per-block fixed
+  /// cost against the prefetch overshoot: sweep-trial makespans are a few
+  /// hundred slots, and rows generated past the makespan are the single
+  /// largest waste of availability sampling at 256.
+  long avail_block = 64;
+  /// Event-horizon fast path (DESIGN.md §8): within each availability block
+  /// the engine bulk-advances runs of homogeneous slots — compute slots
+  /// while every enrolled worker is UP, suspended slots while some are only
+  /// RECLAIMED, idle slots with no configuration — consulting the scheduler
+  /// only at event slots its Quiescence report does not cover. Results
+  /// (counters, iteration stats AND traces) are bit-identical to the
+  /// per-slot loop for every scheduler honoring the quiescence contract;
+  /// false forces the legacy per-slot loop (ablation baseline).
+  bool fast_forward = true;
 };
 
 /// Drives one application execution: availability advances slot by slot, the
-/// scheduler is consulted every slot, communications respect the master's
-/// ncom bound, and the tightly-coupled computation only progresses in slots
-/// where every enrolled worker is UP.
+/// scheduler is consulted at every slot its quiescence contract does not
+/// rule out, communications respect the master's ncom bound, and the
+/// tightly-coupled computation only progresses in slots where every enrolled
+/// worker is UP.
 class Engine {
  public:
   Engine(const platform::Platform& platform, const model::Application& app,
@@ -56,15 +71,48 @@ class Engine {
   /// Activity trace recorded during run() (empty unless record_trace).
   [[nodiscard]] const ActivityTrace& trace() const noexcept { return trace_; }
 
+  /// Number of Scheduler::decide calls made during run() so far
+  /// (observability: with fast_forward, quiescent schedulers are consulted
+  /// only at event slots).
+  [[nodiscard]] long consults() const noexcept { return consults_; }
+
  private:
+  /// What the just-processed slot did (drives fast-forward eligibility).
+  enum class Phase : unsigned char {
+    Idle,       ///< no configuration in place
+    Comm,       ///< at least one transfer progressed
+    Stalled,    ///< comm phase, but every pending worker was RECLAIMED
+    Compute,    ///< all enrolled workers UP, one coupled compute slot banked
+    Suspended,  ///< some enrolled worker RECLAIMED, computation suspended
+    Completed,  ///< this compute slot finished the iteration
+  };
+
   // --- per-slot phases -----------------------------------------------------
+  void step_slot();
   void refresh_states();
   void process_downs();
+  [[nodiscard]] bool consult_needed() const;
   void consult_scheduler();
   void install(const model::Configuration& config);
   void serve_communications();
   void advance_computation();
   void complete_iteration();
+
+  // --- event-horizon fast path (DESIGN.md §8) ------------------------------
+  void fast_forward();
+  void advance_configured_run(Quiescence::Kind kind);
+  void advance_comm_run();
+  void advance_idle_run(Quiescence::Kind kind);
+  void apply_comm_progress(std::size_t q, long slots);
+  void refill_block();
+  [[nodiscard]] const markov::State* peek_row() const {
+    return block_.data() + static_cast<std::size_t>(block_pos_) * states_.size();
+  }
+  [[nodiscard]] const markov::State* prev_of_peeked() const;
+  [[nodiscard]] bool watched_membership_changed(const markov::State* prev,
+                                                const markov::State* row) const;
+  void crash_down_in_row(const markov::State* row);
+  void record_bulk_row(const markov::State* row, bool compute);
 
   // --- helpers ---------------------------------------------------------
   [[nodiscard]] long comm_remaining(int q) const;
@@ -72,6 +120,7 @@ class Engine {
   [[nodiscard]] bool all_enrolled_up() const;
   [[nodiscard]] bool any_enrolled_down() const;
   void clear_config();
+  void reset_comm_remaining();
   void build_view();
   void record_slot();
 
@@ -83,7 +132,7 @@ class Engine {
 
   // dynamic state
   long slot_ = 0;
-  std::vector<markov::State> states_;
+  std::span<const markov::State> states_;  ///< current row inside block_
   std::vector<markov::State> block_;  ///< [block_slots_ x p] availability buffer
   long block_slots_ = 0;              ///< min(avail_block, slot_cap)
   long block_pos_ = 0;                ///< rows of block_ already consumed
@@ -96,12 +145,37 @@ class Engine {
   int iterations_done_ = 0;
   bool finished_ = false;
 
-  // per-slot action annotations (for trace/tests)
+  // per-slot action annotations; only maintained when tracing (their sole
+  // consumer) is on
   std::vector<Action> actions_;
 
+  // per-row digests over block_, computed in one pass at each refill
+  // (fast_forward only). Flags are relative to the previous row, carried
+  // across refills through prev_row_.
+  std::vector<unsigned char> digest_up_changed_;  ///< UP-membership changed
+  std::vector<unsigned char> digest_up_gain_;     ///< some proc joined UP
+  std::vector<unsigned char> digest_new_down_;    ///< some proc newly DOWN
+  std::vector<markov::State> prev_row_;  ///< last row of the previous block
+  bool prev_row_valid_ = false;
+  long digest_row_ = 0;  ///< block row of the slot being processed
+
+  // quiescence latch: report of the most recent consult
+  const Quiescence* quiesce_ = nullptr;
+  long horizon_left_ = 0;           ///< skips still covered by the report
+  bool decision_no_change_ = true;  ///< last consult proposed no change
+  Phase last_phase_ = Phase::Idle;
+  long consults_ = 0;
+
   // view buffers
-  std::vector<long> comm_remaining_buf_;
+  std::vector<long> comm_remaining_buf_;  ///< maintained incrementally;
+                                          ///< debug-asserted in build_view
   SchedulerView view_;
+
+  // reusable per-slot buffers (hoisted allocations)
+  std::vector<int> pending_;     ///< serve_communications candidates
+  std::vector<long> seen_mark_;  ///< per-proc stamp for duplicate detection
+  long seen_gen_ = 0;
+  std::vector<markov::State> comm_ref_;  ///< enrolled-state pattern of a comm run
 
   // bookkeeping
   SimulationResult result_;

@@ -7,9 +7,11 @@
 // processor's Markov model, which is part of the platform description.)
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "markov/state.hpp"
 #include "model/application.hpp"
@@ -46,6 +48,56 @@ struct SchedulerView {
   }
 };
 
+/// Quiescence report: how long the answer of the most recent decide() call
+/// is guaranteed stable, so the engine's event-horizon loop (DESIGN.md §8)
+/// can fast-forward homogeneous slots without consulting the scheduler.
+///
+/// A report is a PROMISE about hypothetical future decide() calls: "given
+/// the engine-visible changes listed below have not happened, decide() would
+/// return exactly what it just returned, and calling it would have no side
+/// effects (no RNG draws, no per-slot observation)". The engine never skips
+/// a consult the report does not cover, so the default (EverySlot) is always
+/// sound and keeps any third-party scheduler on the legacy per-slot path.
+struct Quiescence {
+  enum class Kind : unsigned char {
+    /// The decision may differ at the very next slot even if nothing
+    /// observable changed (stateful or time-dependent policies: RANDOM when
+    /// idle, the IY rule, UPTIME/ADAPT-* which observe every slot).
+    EverySlot,
+    /// The decision is a pure function of the full UP set (holdings-blind
+    /// ranking policies): consult again when ANY processor's UP-membership
+    /// changes, in either direction.
+    UntilUpSetChanges,
+    /// The decision can only change on one of these events:
+    ///   * a processor JOINS the UP set (new placement option),
+    ///   * a `watched` processor's UP-membership changes,
+    ///   * an enrolled processor goes DOWN (engine-side restart),
+    ///   * communication progress or an iteration boundary (engine-side),
+    ///   * more than `horizon` slots elapse.
+    /// UP-set *shrinks* outside `watched` are guaranteed irrelevant (see
+    /// DESIGN.md §8 for why this holds for the incremental builder).
+    UntilEvent,
+    /// "No change" is guaranteed for as long as the engine keeps the current
+    /// configuration installed, whatever happens to states or holdings
+    /// (passive policies, which never preempt a running configuration).
+    WhileConfigured,
+  };
+
+  static constexpr long kUnbounded = std::numeric_limits<long>::max();
+
+  Kind kind = Kind::EverySlot;
+
+  /// Extra slot bound on stability (UntilEvent only): the answer expires
+  /// after this many further slots even without any event. Used by
+  /// time-dependent criteria (the yield's elapsed-time denominator).
+  long horizon = kUnbounded;
+
+  /// UntilEvent: processors whose UP-membership change invalidates the
+  /// answer beyond the engine-side events (the memoized candidate's
+  /// workers).
+  std::vector<int> watched;
+};
+
 /// On-line scheduling policy.
 class Scheduler {
  public:
@@ -56,6 +108,14 @@ class Scheduler {
   /// there is none). Installing a new configuration over an existing one
   /// aborts the in-progress computation (tight coupling: partial work lost).
   virtual std::optional<model::Configuration> decide(const SchedulerView& view) = 0;
+
+  /// Quiescence report for the MOST RECENT decide() call. The reference is
+  /// valid until the next decide(). Implementations that do not override
+  /// this are consulted every slot (always sound).
+  [[nodiscard]] virtual const Quiescence& quiescence() const {
+    static const Quiescence every_slot{};
+    return every_slot;
+  }
 
   /// Human-readable policy name (e.g. "Y-IE").
   [[nodiscard]] virtual std::string_view name() const = 0;

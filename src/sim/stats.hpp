@@ -10,6 +10,8 @@ struct IterationStats {
   long start_slot = 0;      ///< slot at which the iteration began
   long end_slot = 0;        ///< slot at which the last compute slot landed
   long comm_slots = 0;      ///< slots with at least one active transfer
+  long stalled_slots = 0;   ///< comm-phase slots where every pending worker
+                            ///< was RECLAIMED (no transfer progressed)
   long compute_slots = 0;   ///< all-UP compute slots (== W on completion)
   long suspended_slots = 0; ///< compute-phase slots lost to RECLAIMED workers
   int restarts = 0;         ///< aborts due to an enrolled worker going DOWN

@@ -411,6 +411,31 @@ TEST(Validation, RunTrialRejectsUnknownName) {
                std::invalid_argument);
 }
 
+TEST(OptionsMapping, FastForwardThreadsThroughToTheEngine) {
+  // api::Options::fast_forward must reach sim::EngineOptions (default ON),
+  // and toggling it through a Session must not change any outcome — the
+  // event-horizon loop is bit-identical to the per-slot loop by contract.
+  Options options;
+  EXPECT_TRUE(options.engine().fast_forward);
+  options.fast_forward = false;
+  EXPECT_FALSE(options.engine().fast_forward);
+
+  Options on;
+  on.slot_cap = 100'000;
+  Options off = on;
+  off.fast_forward = false;
+  Session fast(on);
+  Session slow(off);
+  const auto params = mini_params(3);
+  for (const char* name : {"IE", "Y-IE", "RANDOM"}) {
+    for (int trial = 0; trial < 2; ++trial) {
+      SCOPED_TRACE(std::string(name) + " trial " + std::to_string(trial));
+      expect_identical(fast.run_trial(params, name, trial),
+                       slow.run_trial(params, name, trial));
+    }
+  }
+}
+
 // ----------------------------------------------------- spec resolution ----
 
 TEST(Spec, ExplicitScenariosReplaceGrid) {

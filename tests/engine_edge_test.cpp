@@ -1,9 +1,14 @@
 // Additional engine edge cases: single-task applications, mu saturation,
 // iteration bookkeeping, trace integrity, holdings visibility through the
-// SchedulerView, and multi-iteration data reset semantics.
+// SchedulerView, multi-iteration data reset semantics, and the event-horizon
+// fast-forward loop (consult skipping, stalled-slot accounting, scripted
+// equivalence with the per-slot reference).
 #include <gtest/gtest.h>
 
 #include "platform/availability.hpp"
+#include "platform/scenario.hpp"
+#include "sched/estimator.hpp"
+#include "sched/heuristics.hpp"
 #include "sim/engine.hpp"
 
 namespace tcgrid {
@@ -225,6 +230,165 @@ TEST(EngineEdge, AvailabilityBlockSizeDoesNotChangeResults) {
     EXPECT_EQ(r.success, reference.success) << "block=" << block;
     EXPECT_EQ(r.total_restarts, reference.total_restarts) << "block=" << block;
     EXPECT_EQ(r.idle_slots, reference.idle_slots) << "block=" << block;
+  }
+}
+
+TEST(EngineEdge, StalledSlotsCountCommPhaseFreezes) {
+  // Comm phase with every pending worker RECLAIMED: the slot progresses
+  // nothing and must be accounted as stalled (not comm, compute or idle).
+  std::vector<std::vector<State>> script = {
+      {State::Up, State::Up},
+      {State::Reclaimed, State::Reclaimed},
+      {State::Reclaimed, State::Reclaimed},
+      {State::Up, State::Up},
+  };
+  platform::FixedAvailability avail(script);
+  auto plat = make_platform({1, 1}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 1;
+  app.t_data = 1;
+  app.iterations = 1;
+  PinScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+  sim::Engine engine(plat, app, avail, sched);
+  auto r = engine.run();
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.iterations.size(), 1u);
+  // Slots 0 and 3 transfer (2 messages each in parallel), 1-2 are frozen,
+  // slot 4 computes: 5 = 2 comm + 2 stalled + 1 compute.
+  EXPECT_EQ(r.iterations[0].comm_slots, 2);
+  EXPECT_EQ(r.iterations[0].stalled_slots, 2);
+  EXPECT_EQ(r.iterations[0].compute_slots, 1);
+  EXPECT_EQ(r.iterations[0].suspended_slots, 0);
+  EXPECT_EQ(r.makespan, 5);
+}
+
+/// A scheduler that pins one configuration but reports WhileConfigured, so
+/// the engine may skip every consult while it is installed.
+class QuiescentPinScheduler final : public sim::Scheduler {
+ public:
+  explicit QuiescentPinScheduler(model::Configuration config)
+      : config_(std::move(config)) {}
+  std::optional<model::Configuration> decide(const sim::SchedulerView& view) override {
+    ++decides_;
+    q_.kind = sim::Quiescence::Kind::WhileConfigured;
+    if (view.has_config()) return std::nullopt;
+    for (const auto& a : config_.assignments()) {
+      if (view.states[static_cast<std::size_t>(a.proc)] != State::Up) {
+        // Waiting for a pinned worker to come UP: exactly the UntilEvent
+        // "some processor joins the UP set" wake-up condition.
+        q_.kind = sim::Quiescence::Kind::UntilEvent;
+        q_.horizon = sim::Quiescence::kUnbounded;
+        q_.watched.clear();
+        return std::nullopt;
+      }
+    }
+    return config_;
+  }
+  [[nodiscard]] const sim::Quiescence& quiescence() const override { return q_; }
+  [[nodiscard]] std::string_view name() const override { return "quiescent-pin"; }
+
+  long decides_ = 0;
+
+ private:
+  model::Configuration config_;
+  sim::Quiescence q_;
+};
+
+TEST(EngineEdge, WhileConfiguredSkipsConsultsWithIdenticalResults) {
+  auto plat = make_platform({1, 2}, 2);
+  model::Application app;
+  app.num_tasks = 2;
+  app.t_prog = 2;
+  app.t_data = 2;
+  app.iterations = 6;
+
+  sim::SimulationResult results[2];
+  long decides[2] = {0, 0};
+  long consults[2] = {0, 0};
+  for (bool ff : {false, true}) {
+    platform::MarkovAvailability avail(plat, 29);
+    QuiescentPinScheduler sched(model::Configuration({{0, 1}, {1, 1}}));
+    sim::EngineOptions opts;
+    opts.slot_cap = 100'000;
+    opts.fast_forward = ff;
+    sim::Engine engine(plat, app, avail, sched, opts);
+    results[ff ? 1 : 0] = engine.run();
+    decides[ff ? 1 : 0] = sched.decides_;
+    consults[ff ? 1 : 0] = engine.consults();
+  }
+  ASSERT_TRUE(results[0].success);
+  EXPECT_EQ(results[0].makespan, results[1].makespan);
+  EXPECT_EQ(results[0].total_restarts, results[1].total_restarts);
+  EXPECT_EQ(results[0].idle_slots, results[1].idle_slots);
+  // The per-slot loop consults every slot; the event-horizon loop only at
+  // event slots.
+  EXPECT_EQ(consults[0], results[0].makespan);
+  EXPECT_LT(consults[1], consults[0] / 2);
+  EXPECT_EQ(decides[0], consults[0]);
+  EXPECT_EQ(decides[1], consults[1]);
+}
+
+TEST(EngineEdge, FastForwardMatchesPerSlotOnScriptedRestarts) {
+  // A script exercising every event type: suspensions mid-compute, an
+  // enrolled DOWN (restart), un-enrolled DOWNs (crash only), and recovery —
+  // driven by a real passive heuristic so the WhileConfigured, restart and
+  // idle paths all engage. Results and traces must be bit-identical.
+  std::vector<std::vector<State>> script;
+  auto row = [](State a, State b, State c) { return std::vector<State>{a, b, c}; };
+  for (int i = 0; i < 4; ++i) script.push_back(row(State::Up, State::Up, State::Up));
+  script.push_back(row(State::Up, State::Reclaimed, State::Down));
+  script.push_back(row(State::Up, State::Reclaimed, State::Down));
+  script.push_back(row(State::Up, State::Down, State::Up));  // enrolled DOWN
+  for (int i = 0; i < 3; ++i) script.push_back(row(State::Down, State::Down, State::Down));
+  for (int i = 0; i < 30; ++i) script.push_back(row(State::Up, State::Up, State::Reclaimed));
+
+  platform::ScenarioParams params;
+  params.p = 3;
+  params.seed = 9;
+  auto scenario = platform::make_scenario(params);
+  model::Application app;
+  app.num_tasks = 3;
+  app.t_prog = 2;
+  app.t_data = 1;
+  app.iterations = 3;
+
+  sim::SimulationResult results[2];
+  sim::ActivityTrace traces[2];
+  for (bool ff : {false, true}) {
+    platform::FixedAvailability avail(script);
+    sched::Estimator estimator(scenario.platform, app, 1e-6);
+    sched::PassiveScheduler sched(sched::Rule::IE, estimator);
+    sim::EngineOptions opts;
+    opts.slot_cap = 10'000;
+    opts.record_trace = true;
+    opts.avail_block = 4;  // force refills inside bulk runs
+    opts.fast_forward = ff;
+    sim::Engine engine(scenario.platform, app, avail, sched, opts);
+    results[ff ? 1 : 0] = engine.run();
+    traces[ff ? 1 : 0] = engine.trace();
+  }
+  EXPECT_EQ(results[0].success, results[1].success);
+  EXPECT_EQ(results[0].makespan, results[1].makespan);
+  EXPECT_EQ(results[0].total_restarts, results[1].total_restarts);
+  EXPECT_EQ(results[0].idle_slots, results[1].idle_slots);
+  ASSERT_EQ(results[0].iterations.size(), results[1].iterations.size());
+  for (std::size_t i = 0; i < results[0].iterations.size(); ++i) {
+    EXPECT_EQ(results[0].iterations[i].comm_slots, results[1].iterations[i].comm_slots);
+    EXPECT_EQ(results[0].iterations[i].stalled_slots,
+              results[1].iterations[i].stalled_slots);
+    EXPECT_EQ(results[0].iterations[i].compute_slots,
+              results[1].iterations[i].compute_slots);
+    EXPECT_EQ(results[0].iterations[i].suspended_slots,
+              results[1].iterations[i].suspended_slots);
+  }
+  ASSERT_EQ(traces[0].size(), traces[1].size());
+  for (std::size_t t = 0; t < traces[0].size(); ++t) {
+    for (std::size_t q = 0; q < traces[0][t].size(); ++q) {
+      ASSERT_TRUE(traces[0][t][q].state == traces[1][t][q].state &&
+                  traces[0][t][q].action == traces[1][t][q].action)
+          << "slot " << t << " proc " << q;
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include "platform/replay.hpp"
 #include "platform/scenario.hpp"
 #include "scen/scen.hpp"
+#include "sched/registry.hpp"
 
 namespace tcgrid {
 namespace {
@@ -523,6 +524,138 @@ TEST(Fit, RejectsDegenerateTraining) {
   EXPECT_THROW((void)scen::fit_markov_platform(
                    plat, *scen::availability_family("markov"), 1, 0),
                std::invalid_argument);
+}
+
+// ------------------------------------------- event-horizon fast-forward ----
+
+void expect_identical_results(const sim::SimulationResult& a,
+                              const sim::SimulationResult& b) {
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.iterations_completed, b.iterations_completed);
+  EXPECT_EQ(a.total_restarts, b.total_restarts);
+  EXPECT_EQ(a.total_reconfigurations, b.total_reconfigurations);
+  EXPECT_EQ(a.idle_slots, b.idle_slots);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    const auto& x = a.iterations[i];
+    const auto& y = b.iterations[i];
+    EXPECT_EQ(x.start_slot, y.start_slot) << "iteration " << i;
+    EXPECT_EQ(x.end_slot, y.end_slot) << "iteration " << i;
+    EXPECT_EQ(x.comm_slots, y.comm_slots) << "iteration " << i;
+    EXPECT_EQ(x.stalled_slots, y.stalled_slots) << "iteration " << i;
+    EXPECT_EQ(x.compute_slots, y.compute_slots) << "iteration " << i;
+    EXPECT_EQ(x.suspended_slots, y.suspended_slots) << "iteration " << i;
+    EXPECT_EQ(x.restarts, y.restarts) << "iteration " << i;
+    EXPECT_EQ(x.reconfigurations, y.reconfigurations) << "iteration " << i;
+  }
+}
+
+void expect_identical_traces(const sim::ActivityTrace& a, const sim::ActivityTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].size(), b[t].size());
+    for (std::size_t q = 0; q < a[t].size(); ++q) {
+      ASSERT_TRUE(a[t][q].state == b[t][q].state && a[t][q].action == b[t][q].action)
+          << "slot " << t << " proc " << q;
+    }
+  }
+}
+
+/// Every slot of a run is exactly one of: idle (no configuration), comm,
+/// stalled (comm phase frozen by RECLAIMED workers), compute, or suspended.
+/// On success the completed iterations tile [0, makespan), so the counters
+/// must reconcile with the makespan exactly (DESIGN.md §8).
+void expect_slot_accounting(const sim::SimulationResult& r) {
+  long accounted = r.idle_slots;
+  long prev_end = -1;
+  for (const auto& it : r.iterations) {
+    // Iterations tile the timeline; a span holds its comm/stalled/compute/
+    // suspended slots (plus globally-counted idle slots before its first
+    // configuration).
+    EXPECT_EQ(it.start_slot, prev_end + 1);
+    const long span = it.end_slot - it.start_slot + 1;
+    const long busy =
+        it.comm_slots + it.stalled_slots + it.compute_slots + it.suspended_slots;
+    EXPECT_LE(busy, span);
+    prev_end = it.end_slot;
+    accounted += busy;
+  }
+  if (r.success) {
+    EXPECT_EQ(accounted, r.makespan);
+  } else {
+    EXPECT_LE(accounted, r.makespan);  // trailing unfinished iteration
+  }
+}
+
+// The §8 contract: EngineOptions::fast_forward must be invisible in the
+// results — every counter, per-iteration stat AND the activity trace — for
+// every registered heuristic (the paper's 17 plus the extension baselines)
+// across every built-in availability family. This is the equality proof the
+// quiescence reports are held to; a scheduler misreporting its stability
+// fails here. Doubles as the slot-accounting test.
+TEST(FastForward, BitIdenticalForEveryHeuristicAndFamily) {
+  std::vector<std::string> heuristics = sched::all_heuristic_names();
+  for (const auto& n : sched::extension_heuristic_names()) heuristics.push_back(n);
+
+  platform::ScenarioParams params;
+  params.m = 5;
+  params.ncom = 5;
+  params.wmin = 2;
+  params.seed = 33;
+
+  for (const char* family : {"markov", "weibull", "daynight"}) {
+    const scen::ScenarioSpace space{.availability = family};
+    api::Options on;
+    on.slot_cap = 50'000;
+    on.fast_forward = true;
+    api::Options off = on;
+    off.fast_forward = false;
+    api::Session fast(on);
+    api::Session slow(off);
+
+    for (const auto& heuristic : heuristics) {
+      SCOPED_TRACE(std::string(family) + " / " + heuristic);
+      sim::ActivityTrace trace_on;
+      sim::ActivityTrace trace_off;
+      const auto a = fast.run_trial(space, params, heuristic, 0, &trace_on);
+      const auto b = slow.run_trial(space, params, heuristic, 0, &trace_off);
+      expect_identical_results(a, b);
+      expect_identical_traces(trace_on, trace_off);
+      expect_slot_accounting(a);
+    }
+  }
+}
+
+// The tracing-off path takes additional fast-forward shortcuts (bulk comm
+// runs are disabled under tracing); prove the counters still match the
+// per-slot reference without traces in the picture.
+TEST(FastForward, UntracedRunsMatchPerSlotReference) {
+  platform::ScenarioParams params;
+  params.m = 5;
+  params.ncom = 5;
+  params.wmin = 3;
+  params.seed = 77;
+
+  for (const char* family : {"markov", "weibull", "daynight"}) {
+    const scen::ScenarioSpace space{.availability = family};
+    api::Options on;
+    on.slot_cap = 50'000;
+    api::Options off = on;
+    off.fast_forward = false;
+    api::Session fast(on);
+    api::Session slow(off);
+    for (const char* heuristic : {"IE", "IAY", "RANDOM", "Y-IE", "E-IAY", "P-IE"}) {
+      for (int trial = 0; trial < 3; ++trial) {
+        SCOPED_TRACE(std::string(family) + " / " + heuristic + " / trial " +
+                     std::to_string(trial));
+        const auto a = fast.run_trial(space, params, heuristic, trial);
+        const auto b = slow.run_trial(space, params, heuristic, trial);
+        expect_identical_results(a, b);
+        expect_slot_accounting(a);
+      }
+    }
+  }
 }
 
 }  // namespace
