@@ -114,6 +114,54 @@ inline const std::map<std::string, double>& paper_table2_diff() {
   return v;
 }
 
+/// Thread-count-independent digest of a sweep's outcomes: per row, an FNV
+/// hash over the coordinates and EVERY per-trial counter (iteration stats
+/// included), XOR-folded so completion order cannot matter. The divergence
+/// gates of bench_engine (fast-forward on vs off) and bench_sweep (shared
+/// realizations vs live generation) both compare these digests — one
+/// implementation, so a counter added to sim::SimulationResult is either
+/// covered by both gates or by neither (grep for this class when extending
+/// the result structs).
+class DigestSink final : public api::ResultSink {
+ public:
+  void consume(const api::ResultRow& row) override {
+    const sim::SimulationResult& r = *row.result;
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(row.heuristic));
+    mix(static_cast<std::uint64_t>(row.scenario));
+    mix(static_cast<std::uint64_t>(row.trial));
+    mix(static_cast<std::uint64_t>(r.makespan));
+    mix(static_cast<std::uint64_t>(r.success ? 1 : 0));
+    mix(static_cast<std::uint64_t>(r.total_restarts));
+    mix(static_cast<std::uint64_t>(r.total_reconfigurations));
+    mix(static_cast<std::uint64_t>(r.idle_slots));
+    for (const auto& it : r.iterations) {
+      mix(static_cast<std::uint64_t>(it.start_slot));
+      mix(static_cast<std::uint64_t>(it.end_slot));
+      mix(static_cast<std::uint64_t>(it.comm_slots));
+      mix(static_cast<std::uint64_t>(it.stalled_slots));
+      mix(static_cast<std::uint64_t>(it.compute_slots));
+      mix(static_cast<std::uint64_t>(it.suspended_slots));
+    }
+    digest_ ^= h;  // order-independent fold
+    ++rows_;
+    slots_ += r.makespan;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] long slots() const noexcept { return slots_; }
+
+ private:
+  std::uint64_t digest_ = 0;
+  std::size_t rows_ = 0;
+  long slots_ = 0;
+};
+
 /// Render summaries with the paper's published %diff as an extra column.
 inline util::Table table_with_paper_column(
     const std::vector<expt::HeuristicSummary>& summaries,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "bench_common.hpp"
 #include "platform/scenario.hpp"
 #include "sched/incremental.hpp"
 #include "sched/registry.hpp"
@@ -126,46 +127,10 @@ BENCHMARK(BM_AvailabilityAdvance);
 // --emit_json mode: reduced-sweep fast-forward comparison.
 // ---------------------------------------------------------------------------
 
-/// Accumulates a thread-count-independent digest of a sweep's outcomes, so
-/// the ON and OFF runs can be proven identical before their timings are
-/// reported. The digest folds every per-trial counter (XOR of per-row
-/// hashes: commutative, so completion order does not matter).
-class DigestSink final : public api::ResultSink {
- public:
-  void consume(const api::ResultRow& row) override {
-    const sim::SimulationResult& r = *row.result;
-    std::uint64_t h = 1469598103934665603ULL;
-    auto mix = [&h](std::uint64_t v) {
-      h ^= v;
-      h *= 1099511628211ULL;
-    };
-    mix(static_cast<std::uint64_t>(row.heuristic));
-    mix(static_cast<std::uint64_t>(row.scenario));
-    mix(static_cast<std::uint64_t>(row.trial));
-    mix(static_cast<std::uint64_t>(r.makespan));
-    mix(static_cast<std::uint64_t>(r.success ? 1 : 0));
-    mix(static_cast<std::uint64_t>(r.total_restarts));
-    mix(static_cast<std::uint64_t>(r.total_reconfigurations));
-    mix(static_cast<std::uint64_t>(r.idle_slots));
-    for (const auto& it : r.iterations) {
-      mix(static_cast<std::uint64_t>(it.start_slot));
-      mix(static_cast<std::uint64_t>(it.end_slot));
-      mix(static_cast<std::uint64_t>(it.comm_slots));
-      mix(static_cast<std::uint64_t>(it.stalled_slots));
-      mix(static_cast<std::uint64_t>(it.compute_slots));
-      mix(static_cast<std::uint64_t>(it.suspended_slots));
-    }
-    digest_ ^= h;  // order-independent fold
-    slots_ += r.makespan;
-  }
-
-  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
-  [[nodiscard]] long slots() const noexcept { return slots_; }
-
- private:
-  std::uint64_t digest_ = 0;
-  long slots_ = 0;
-};
+// The thread-count-independent outcome digest lives in bench_common.hpp
+// (shared with bench_sweep, whose shared-vs-live gate must cover exactly
+// the same counters as this bench's on-vs-off gate).
+using bench::DigestSink;
 
 struct SweepTiming {
   double seconds = 0.0;

@@ -1,0 +1,146 @@
+// Trial-major sweep bench: shared materialized realizations vs per-heuristic
+// live generation (DESIGN.md §9).
+//
+// Runs the reduced sweep over a representative heuristic set TWICE with the
+// same seeds — once with realization sharing on (the default budget), once
+// with it disabled (realization_budget = 0, i.e. every heuristic run
+// regenerates its availability stream) — verifies the outcomes are
+// bit-identical via an order-independent digest over every per-trial
+// counter, and writes wall time, rows/sec and the speedup to
+// BENCH_sweep.json. The CI Release job runs this and uploads the artifact;
+// the committed BENCH_sweep.json at the repo root is the tracked baseline.
+// Exit codes: 0 ok, 2 on any shared/live divergence (CI fails on it).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace tcgrid;
+using bench::DigestSink;
+
+struct SweepTiming {
+  double seconds = 0.0;
+  std::size_t rows = 0;
+  long slots = 0;
+  std::uint64_t digest = 0;
+};
+
+SweepTiming run_sweep(const api::ExperimentSpec& spec) {
+  api::Session session(spec.options);
+  DigestSink digest;
+  const auto t0 = std::chrono::steady_clock::now();
+  session.run(spec, {&digest});
+  SweepTiming out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.rows = digest.rows();
+  out.slots = digest.slots();
+  out.digest = digest.digest();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string path = [&] {
+    auto v = cli.value("emit_json");
+    return (v && !v->empty()) ? *v : std::string("BENCH_sweep.json");
+  }();
+
+  // Default cap 50k, not bench_engine's 200k: this bench measures the
+  // sharing lever, and a unit's materialization cost is set by its LONGEST
+  // run. At 200k+ the sweep's wall time is mostly RANDOM simulating
+  // cap-length failures — a single consumer of each realization's tail,
+  // which no scheme can share — while 50k keeps failed runs bounded near
+  // the longest successful makespans (tens of thousands of slots), so the
+  // measurement reflects the mixed workload sweeps actually run.
+  api::ExperimentSpec spec =
+      api::ExperimentSpec::reduced(static_cast<int>(cli.get_long("m", 5)),
+                                   cli.get_long("cap", 50'000));
+  spec.grid.scenarios_per_cell =
+      static_cast<int>(cli.get_long("scenarios", spec.grid.scenarios_per_cell));
+  spec.trials = static_cast<int>(cli.get_long("trials", spec.trials));
+  spec.options.threads = 1;  // timings must not depend on core count
+
+  // The trial-major sharing lever scales with how many heuristics consume
+  // one realization: use the same representative set bench_engine times
+  // (all quiescence classes represented).
+  spec.heuristics = {
+      "IP", "IE", "IAY",                // passive
+      "P-IE", "E-IE", "E-IAY", "Y-IE",  // memoized proactive
+      "IY", "RANDOM",                   // per-slot by contract (no skipping)
+  };
+
+  api::ExperimentSpec live = spec;
+  live.options.realization_budget = 0;  // per-heuristic live generation
+
+  // Interleaved repetitions, best-of per mode: wall times on shared CI
+  // runners jitter by tens of percent, and min-of-N against min-of-N is the
+  // standard way to compare two deterministic computations under that noise.
+  const long reps = std::max(1L, cli.get_long("reps", 5));
+  SweepTiming live_t;
+  SweepTiming shared_t;
+  for (long r = 0; r < reps; ++r) {
+    const SweepTiming l = run_sweep(live);
+    const SweepTiming s = run_sweep(spec);
+    if (r == 0) {
+      live_t = l;
+      shared_t = s;
+    } else {
+      if (l.digest != live_t.digest || s.digest != shared_t.digest) {
+        std::fprintf(stderr, "bench_sweep: nondeterministic repetition digest\n");
+        return 2;
+      }
+      live_t.seconds = std::min(live_t.seconds, l.seconds);
+      shared_t.seconds = std::min(shared_t.seconds, s.seconds);
+    }
+  }
+
+  const bool identical =
+      shared_t.digest == live_t.digest && shared_t.rows == live_t.rows;
+  const double shared_rate = static_cast<double>(shared_t.rows) / shared_t.seconds;
+  const double live_rate = static_cast<double>(live_t.rows) / live_t.seconds;
+  const double speedup = live_t.seconds / shared_t.seconds;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_sweep: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"bench\": \"sweep_shared_realizations\",\n"
+      "  \"sweep\": {\"m\": %d, \"scenarios_per_cell\": %d, \"trials\": %d, "
+      "\"slot_cap\": %ld, \"heuristics\": %zu},\n"
+      "  \"rows\": %zu,\n"
+      "  \"slots\": %ld,\n"
+      "  \"shared\": {\"seconds\": %.3f, \"rows_per_sec\": %.1f},\n"
+      "  \"live\": {\"seconds\": %.3f, \"rows_per_sec\": %.1f},\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"identical\": %s\n"
+      "}\n",
+      spec.grid.ms[0], spec.grid.scenarios_per_cell, spec.trials,
+      spec.options.slot_cap, spec.heuristics.size(), shared_t.rows, shared_t.slots,
+      shared_t.seconds, shared_rate, live_t.seconds, live_rate, speedup,
+      identical ? "true" : "false");
+  out << buf;
+  std::fprintf(stderr,
+               "bench_sweep: %zu rows  shared %.3fs (%.0f rows/s)  live %.3fs "
+               "(%.0f rows/s)  speedup x%.2f  %s\n",
+               shared_t.rows, shared_t.seconds, shared_rate, live_t.seconds,
+               live_rate, speedup, identical ? "identical" : "MISMATCH");
+  std::fprintf(stderr, "bench_sweep: wrote %s\n", path.c_str());
+  return identical ? 0 : 2;  // CI fails on shared/live divergence
+}

@@ -28,6 +28,18 @@ struct Options {
                               ///< false forces the legacy per-slot loop
                               ///< (ablation baseline)
 
+  // --- shared availability realizations (DESIGN.md §9) ---------------------
+  /// Peak bytes one materialized availability realization may occupy during
+  /// a sweep. Session::run materializes each (scenario, trial) realization
+  /// once — per-worker run-length intervals plus the engine's digest
+  /// bitsets — and replays it to every heuristic instead of regenerating
+  /// the stream per run. A realization that would outgrow this budget is
+  /// dropped and the unit falls back to live generation (bit-identical
+  /// results either way — enforced by tests and the bench_sweep digest
+  /// check). 0 disables sharing entirely (every run generates live), which
+  /// is the ablation baseline bench_sweep compares against.
+  std::size_t realization_budget = 64ull << 20;  ///< 64 MiB
+
   // --- estimator -----------------------------------------------------------
   double eps = 1e-6;  ///< truncation precision of the §V series
 

@@ -1,6 +1,8 @@
 #include "api/session.hpp"
 
 #include <atomic>
+#include <cassert>
+#include <optional>
 
 #include "expt/runner.hpp"
 #include "sched/registry.hpp"
@@ -26,8 +28,13 @@ Session::ThreadCache& Session::this_thread_cache() {
 
 Session::ScenarioEntry& Session::entry_for(const scen::ScenarioSpace& space,
                                            const platform::ScenarioParams& params) {
+  return entry_for(scen::platform_family(space.platform), params);
+}
+
+Session::ScenarioEntry& Session::entry_for(
+    std::shared_ptr<const scen::PlatformFamily> family,
+    const platform::ScenarioParams& params) {
   ThreadCache& cache = this_thread_cache();
-  auto family = scen::platform_family(space.platform);
   const Key key{family.get(),  params.seed, params.m, params.ncom,
                 params.wmin,   params.p,    params.iterations};
   auto it = cache.find(key);
@@ -37,6 +44,18 @@ Session::ScenarioEntry& Session::entry_for(const scen::ScenarioSpace& space,
              .first;
   }
   return *it->second;
+}
+
+void Session::clear_caches() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  caches_.clear();
+}
+
+std::size_t Session::cached_entries() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::size_t n = 0;
+  for (const auto& [tid, cache] : caches_) n += cache.size();
+  return n;
 }
 
 const platform::Scenario& Session::scenario_for(const platform::ScenarioParams& params) {
@@ -66,6 +85,21 @@ sim::SimulationResult Session::run_one(const Options& options,
   sim::SimulationResult result = engine.run();
   if (trace != nullptr) *trace = engine.trace();
   return result;
+}
+
+sim::SimulationResult Session::run_replayed(const Options& options,
+                                            platform::Realization& realization,
+                                            const platform::Scenario& scenario,
+                                            const sched::Estimator& estimator,
+                                            std::string_view heuristic, int trial) {
+  // Scheduler seeding is identical to run_one: only where availability rows
+  // come from differs, so replayed runs are bit-identical to live ones.
+  auto scheduler = sched::make_scheduler(
+      heuristic, estimator,
+      util::derive_seed(scenario.params.seed, 2000 + static_cast<std::uint64_t>(trial)));
+  sim::Engine engine(scenario.platform, scenario.app, realization, *scheduler,
+                     options.engine(false));
+  return engine.run();
 }
 
 sim::SimulationResult Session::run_trial(const platform::ScenarioParams& params,
@@ -104,7 +138,20 @@ sim::SimulationResult Session::run_custom(const Options& options,
                                           sim::ActivityTrace* trace) {
   sim::Engine engine(platform, app, availability, scheduler,
                      options.engine(trace != nullptr));
+#ifndef NDEBUG
+  const long start_pos = availability.position();
+#endif
   sim::SimulationResult result = engine.run();
+#ifndef NDEBUG
+  // The documented post-run contract: the engine consumed whole avail_block
+  // prefetch batches, so the source sits past the last simulated slot by
+  // less than one block (result.makespan is slot_cap for failed runs, i.e.
+  // always the number of simulated slots).
+  const long consumed = availability.position() - start_pos;
+  const long block = std::min(options.avail_block, options.slot_cap);
+  assert(consumed >= result.makespan && consumed < result.makespan + block &&
+         "run_custom: source position outside the documented prefetch window");
+#endif
   if (trace != nullptr) *trace = engine.trace();
   return result;
 }
@@ -131,22 +178,67 @@ Session::RunStats Session::run(const ExperimentSpec& spec,
   std::atomic<std::size_t> rows{0};
   std::size_t done = 0;
 
+  // Trial-major execution (DESIGN.md §9): the scheduling unit is one
+  // (scenario, trial), enumerated scenario-major so consecutive units share
+  // a scenario. Each unit materializes its availability realization once
+  // and replays it to every heuristic — the paper's paired comparison made
+  // literal: one artifact, 17 consumers — instead of regenerating the
+  // stream per heuristic run. Dispatch is chunked by `trials`, so all units
+  // of a scenario land on ONE worker: its estimator is built once per
+  // scenario (as before this refactor), not once per (scenario, thread).
+  const auto trials = static_cast<std::size_t>(spec.trials);
+  const std::size_t units = scenarios.size() * trials;
+
   util::parallel_for(
-      scenarios.size(),
-      [&](std::size_t sc) {
-        // One scenario = one task: the scenario and its estimator are built
-        // here and only ever touched by this worker, so the non-thread-safe
-        // estimator is shared across all heuristics x trials of the scenario
-        // (cache warmth) without locking. Sweep scenarios are deliberately
-        // NOT inserted into the per-thread caches: a full sweep visits each
-        // scenario once, so caching would only grow memory.
-        const platform::Scenario scenario = plat_family->make(scenarios[sc]);
-        const sched::Estimator estimator(scenario.platform, scenario.app, options.eps);
+      units,
+      [&](std::size_t u) {
+        const std::size_t sc = u / trials;
+        const int trial = static_cast<int>(u % trials);
+        // The scenario and estimator come from this worker's private cache:
+        // every heuristic of the unit (and any further unit of the same
+        // scenario this thread picks up) reuses one warm, non-thread-safe
+        // estimator without locking. clear_caches() releases the entries.
+        ScenarioEntry& entry = entry_for(plat_family, scenarios[sc]);
+
+        std::optional<platform::Realization> realization;
+        if (options.realization_budget > 0) {
+          realization.emplace(
+              avail_family->make_source(entry.scenario.platform,
+                                        expt::trial_seed(entry.scenario, trial),
+                                        options.init),
+              options.realization_budget);
+        }
+        std::vector<sim::SimulationResult> results(heuristics.size());
         for (std::size_t h = 0; h < heuristics.size(); ++h) {
-          for (int trial = 0; trial < spec.trials; ++trial) {
-            const sim::SimulationResult result = run_one(
-                options, *avail_family, scenario, estimator, heuristics[h], trial,
-                nullptr);
+          if (realization.has_value()) {
+            // Last consumer: whatever this run needs beyond the already
+            // materialized prefix will never be replayed, so stop recording
+            // — the engine continues live on the realization's own source
+            // past the frontier (bit-identical stream continuation). With a
+            // single heuristic this degrades sharing to plain live
+            // generation, which is exactly right.
+            if (h + 1 == heuristics.size()) realization->freeze();
+            try {
+              results[h] = run_replayed(options, *realization, entry.scenario,
+                                        entry.estimator, heuristics[h], trial);
+              continue;
+            } catch (const platform::RealizationBudgetExceeded&) {
+              // This trial's timeline outgrew the budget: drop the artifact
+              // and fall back to live generation for the whole unit
+              // (including re-running the interrupted heuristic — results
+              // are pure functions of the seeds, so nothing is lost).
+              realization.reset();
+            }
+          }
+          results[h] = run_one(options, *avail_family, entry.scenario,
+                               entry.estimator, heuristics[h], trial, nullptr);
+        }
+        {
+          // One lock hold per unit: the unit's rows reach sinks
+          // contiguously, in heuristic order (the documented row-ordering
+          // guarantee), and progress ticks once per unit.
+          const std::lock_guard<std::mutex> lock(emit_mutex);
+          for (std::size_t h = 0; h < heuristics.size(); ++h) {
             ResultRow row;
             row.heuristic = h;
             row.scenario = sc;
@@ -154,19 +246,15 @@ Session::RunStats Session::run(const ExperimentSpec& spec,
             row.name = &heuristics[h];
             row.family = &spec.scenario_space.availability;
             row.params = &scenarios[sc];
-            row.result = &result;
-            {
-              const std::lock_guard<std::mutex> lock(emit_mutex);
-              for (ResultSink* sink : sinks) sink->consume(row);
-            }
-            rows.fetch_add(1, std::memory_order_relaxed);
+            row.result = &results[h];
+            for (ResultSink* sink : sinks) sink->consume(row);
           }
+          ++done;
+          if (progress) progress(done, units);
         }
-        const std::lock_guard<std::mutex> lock(emit_mutex);
-        ++done;
-        if (progress) progress(done, scenarios.size());
+        rows.fetch_add(heuristics.size(), std::memory_order_relaxed);
       },
-      options.threads);
+      options.threads, trials);
 
   for (ResultSink* sink : sinks) sink->finish();
 

@@ -40,6 +40,7 @@
 #include "api/sink.hpp"
 #include "api/spec.hpp"
 #include "platform/availability.hpp"
+#include "platform/realization.hpp"
 #include "platform/scenario.hpp"
 #include "scen/space.hpp"
 #include "sched/estimator.hpp"
@@ -55,8 +56,11 @@ class Session {
   /// a sweep falls back to. ExperimentSpec::options wins inside run().
   explicit Session(Options options = {});
 
-  /// Progress callback: (scenarios completed, scenarios total). Serialized
-  /// with sink consumption (see the thread-safety contract above).
+  /// Progress callback: (units completed, units total), where a unit is one
+  /// (scenario, trial) — the sweep's scheduling grain — so a trial-major
+  /// sweep reports trials x scenarios steps of smooth progress instead of
+  /// one coarse tick per scenario. Serialized with sink consumption (see
+  /// the thread-safety contract above).
   using Progress = std::function<void(std::size_t, std::size_t)>;
 
   struct RunStats {
@@ -66,10 +70,30 @@ class Session {
 
   /// Run the spec, streaming every completed (heuristic, scenario, trial)
   /// outcome to each sink. Validates the spec up front (throws
-  /// std::invalid_argument before any simulation starts). Scenarios are
-  /// distributed over spec.options.threads workers; simulation RESULTS are
-  /// deterministic and independent of the thread count, but the ORDER in
-  /// which rows reach sinks is completion order (see sink.hpp).
+  /// std::invalid_argument before any simulation starts).
+  ///
+  /// Execution is TRIAL-MAJOR (DESIGN.md §9): the scheduling unit is one
+  /// (scenario, trial). The unit's availability realization is materialized
+  /// once (platform::Realization, bounded by options.realization_budget;
+  /// budget 0 or overflow falls back to live generation) and every
+  /// requested heuristic runs against it on the same worker thread, so the
+  /// generation + digest work of a trial is paid once instead of once per
+  /// heuristic, and the thread's cached estimator stays warm across the
+  /// unit. Results are bit-identical to live generation and independent of
+  /// the thread count.
+  ///
+  /// Row-ordering guarantee for sinks: the rows of one (scenario, trial)
+  /// unit arrive CONTIGUOUSLY, in the spec's heuristic order. Across units
+  /// the order is completion order (thread-scheduling dependent) — sinks
+  /// needing global order sort on the row coordinates (see sink.hpp).
+  ///
+  /// Sweeps populate the calling worker threads' scenario/estimator caches
+  /// (that is what keeps estimators warm across the trials of a scenario);
+  /// call clear_caches() between sweeps to release them. The entries are
+  /// retained for the WHOLE run — an estimator's survival tables and build
+  /// memo are some MBs each once hot — so split very large scenario
+  /// populations into cells and clear_caches() between them to bound peak
+  /// memory (the cells of a grid are the natural split).
   RunStats run(const ExperimentSpec& spec, const std::vector<ResultSink*>& sinks,
                const Progress& progress = nullptr);
 
@@ -95,10 +119,13 @@ class Session {
 
   /// One run with a caller-supplied availability source and scheduler,
   /// using the session options for the engine knobs. The engine consumes
-  /// the source in avail_block prefetch batches, so after the run the
-  /// source's position is up to avail_block - 1 slots past the last
-  /// simulated slot — construct a fresh source rather than reusing one to
-  /// continue its stream.
+  /// the source in avail_block prefetch batches, so after the run
+  /// `availability.position()` is past the last simulated slot by up to
+  /// avail_block - 1 slots of prefetch overshoot (asserted in debug
+  /// builds: simulated <= position < simulated + avail_block, relative to
+  /// the source's pre-run position). Query position() before reusing a
+  /// source; to continue a stream from the exact end of a run, construct a
+  /// fresh source instead.
   [[nodiscard]] sim::SimulationResult run_custom(const platform::Platform& platform,
                                                  const model::Application& app,
                                                  platform::AvailabilitySource& availability,
@@ -120,6 +147,21 @@ class Session {
   /// use with options().eps). Valid until the session is destroyed; never
   /// share it with another thread.
   [[nodiscard]] const sched::Estimator& estimator_for(const platform::ScenarioParams& params);
+
+  /// Drop every thread's cached scenario/estimator entries. A long-lived
+  /// session that sweeps many scenario populations otherwise retains one
+  /// estimator per (thread, scenario) forever; call this between sweeps
+  /// (cells) to bound memory. MUST NOT run concurrently with run /
+  /// run_trial / scenario_for / estimator_for — references returned by
+  /// those calls are invalidated.
+  void clear_caches();
+
+  /// Total cached scenario entries across all threads (observability for
+  /// memory monitoring and the clear_caches tests). Same concurrency
+  /// contract as clear_caches(): MUST NOT run while run / run_trial /
+  /// scenario_for / estimator_for are in flight — worker threads mutate
+  /// their caches without the directory mutex this reads sizes under.
+  [[nodiscard]] std::size_t cached_entries();
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
@@ -149,6 +191,11 @@ class Session {
 
   [[nodiscard]] ScenarioEntry& entry_for(const scen::ScenarioSpace& space,
                                          const platform::ScenarioParams& params);
+  /// Overload with the platform family pre-resolved (sweep workers stay off
+  /// the registry mutex).
+  [[nodiscard]] ScenarioEntry& entry_for(
+      std::shared_ptr<const scen::PlatformFamily> family,
+      const platform::ScenarioParams& params);
   [[nodiscard]] ThreadCache& this_thread_cache();
 
   /// The availability family arrives pre-resolved: Session::run resolves it
@@ -158,6 +205,16 @@ class Session {
       const Options& options, const scen::AvailabilityFamily& availability,
       const platform::Scenario& scenario, const sched::Estimator& estimator,
       std::string_view heuristic, int trial, sim::ActivityTrace* trace);
+
+  /// One heuristic run replayed against a shared materialized realization
+  /// (identical scheduler seeding to run_one; the availability stream comes
+  /// from the realization instead of a fresh source). Can throw
+  /// platform::RealizationBudgetExceeded while lazily extending the
+  /// realization — the caller falls back to run_one.
+  [[nodiscard]] static sim::SimulationResult run_replayed(
+      const Options& options, platform::Realization& realization,
+      const platform::Scenario& scenario, const sched::Estimator& estimator,
+      std::string_view heuristic, int trial);
 
   Options options_;
 

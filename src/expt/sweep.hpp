@@ -1,4 +1,6 @@
-// The factorial experiment sweep of §VII-A, parallelized over scenarios.
+// The factorial experiment sweep of §VII-A, parallelized over
+// (scenario, trial) units (trial-major, shared availability realizations —
+// DESIGN.md §9).
 //
 // The paper's full space: m in {5,10} x ncom in {5,10,20} x wmin in 1..10,
 // 10 random scenarios per cell, 10 trials per scenario. Bench binaries run
@@ -66,7 +68,9 @@ struct SweepResults {
 [[nodiscard]] std::vector<platform::ScenarioParams> scenario_grid(const SweepConfig& c);
 
 /// Run the sweep. `progress`, if given, is called after each completed
-/// scenario with (done, total). It may be called from worker threads, but
+/// (scenario, trial) unit with (done, total) — the api::Session trial-major
+/// contract, so total == scenarios x trials and progress is smooth instead
+/// of one tick per scenario. It may be called from worker threads, but
 /// calls are serialized by the underlying api::Session — no two invocations
 /// ever run concurrently, so unsynchronized callback state is safe.
 /// Heuristic names are validated up front: unknown names throw

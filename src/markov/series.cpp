@@ -85,41 +85,33 @@ RenewalResult renewal_first_return(std::span<const UrMatrix> procs,
   return out;
 }
 
-const std::array<double, 2>& CoupledStats::wtab(long w) const {
+const std::array<double, 2>& CoupledStats::wtab_grow(long w) const {
   // Grow the memo through the reference expressions so lookups return the
   // exact doubles direct computation would.
   auto size = static_cast<long>(wtab_.size());
-  if (w >= size) {
-    wtab_.reserve(static_cast<std::size_t>(w + 1));
-    for (; size <= w; ++size) {
-      const double sp =
-          size <= 1 ? 1.0 : std::pow(p_plus, static_cast<double>(size - 1));
-      double et = 0.0;
-      if (size > 0) {
-        const double numer = 1.0 + static_cast<double>(size - 1) * ec;
-        et = sp <= 0.0 ? std::numeric_limits<double>::infinity() : numer / sp;
-      }
-      wtab_.push_back({sp, et});
+  wtab_.reserve(static_cast<std::size_t>(w + 1));
+  for (; size <= w; ++size) {
+    const double sp =
+        size <= 1 ? 1.0 : std::pow(p_plus, static_cast<double>(size - 1));
+    double et = 0.0;
+    if (size > 0) {
+      const double numer = 1.0 + static_cast<double>(size - 1) * ec;
+      et = sp <= 0.0 ? std::numeric_limits<double>::infinity() : numer / sp;
     }
+    wtab_.push_back({sp, et});
   }
   return wtab_[static_cast<std::size_t>(w)];
 }
 
-double CoupledStats::success_prob(long w) const {
-  if (w <= 1) return 1.0;
-  if (w > kMaxMemoW) return std::pow(p_plus, static_cast<double>(w - 1));
-  return wtab(w)[0];
+double CoupledStats::pow_success(long w) const {
+  return std::pow(p_plus, static_cast<double>(w - 1));
 }
 
-double CoupledStats::expected_time(long w) const {
-  if (w <= 0) return 0.0;
-  if (w > kMaxMemoW) {
-    const double numer = 1.0 + static_cast<double>(w - 1) * ec;
-    const double denom = success_prob(w);
-    if (denom <= 0.0) return std::numeric_limits<double>::infinity();
-    return numer / denom;
-  }
-  return wtab(w)[1];
+double CoupledStats::big_expected_time(long w) const {
+  const double numer = 1.0 + static_cast<double>(w - 1) * ec;
+  const double denom = success_prob(w);
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return numer / denom;
 }
 
 CoupledStats coupled_stats(std::span<const UrMatrix> procs, double eps,

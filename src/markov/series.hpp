@@ -67,12 +67,22 @@ struct CoupledStats {
 
   /// Probability that W slots of coupled computation complete with no
   /// processor of S going DOWN: P+(S)^(W-1) (the first slot is "now").
-  [[nodiscard]] double success_prob(long w) const;
+  /// Memo-hit path inline — these two sit under the m*p candidate
+  /// evaluations of every scheduling decision.
+  [[nodiscard]] double success_prob(long w) const {
+    if (w <= 1) return 1.0;
+    if (w > kMaxMemoW) return pow_success(w);
+    return wtab(w)[0];
+  }
 
   /// Paper's approximation E^{(S)}(W) = (1 + (W-1) E_c) / P+^(W-1) of the
   /// expected number of slots to obtain W all-UP slots, conditioned on
   /// success. Returns 0 for w <= 0.
-  [[nodiscard]] double expected_time(long w) const;
+  [[nodiscard]] double expected_time(long w) const {
+    if (w <= 0) return 0.0;
+    if (w > kMaxMemoW) return big_expected_time(w);
+    return wtab(w)[1];
+  }
 
  private:
   /// Lazily grown memo of (success_prob, expected_time) indexed by w: the
@@ -82,7 +92,15 @@ struct CoupledStats {
   /// unmemoized calls return identical doubles. NOT thread-safe — callers
   /// already own one Estimator (and thus these) per thread.
   static constexpr long kMaxMemoW = 4096;  ///< larger w falls through to pow()
-  const std::array<double, 2>& wtab(long w) const;
+  const std::array<double, 2>& wtab(long w) const {
+    if (w < static_cast<long>(wtab_.size())) {
+      return wtab_[static_cast<std::size_t>(w)];
+    }
+    return wtab_grow(w);
+  }
+  const std::array<double, 2>& wtab_grow(long w) const;
+  double pow_success(long w) const;       ///< P+^(w-1), w > kMaxMemoW
+  double big_expected_time(long w) const; ///< reference form, w > kMaxMemoW
   mutable std::vector<std::array<double, 2>> wtab_;
 };
 

@@ -48,6 +48,7 @@ void MarkovAvailability::advance() {
     auto& s = states_[static_cast<std::size_t>(q)];
     s = markov::step(platform_.proc(q).availability, s, rng_);
   }
+  ++slot_;
 }
 
 void MarkovAvailability::fill_block(markov::State* buf, long slots) {
@@ -64,6 +65,7 @@ void MarkovAvailability::fill_block(markov::State* buf, long slots) {
                               : markov::State::Down;
     }
   }
+  slot_ += slots;
 }
 
 FixedAvailability::FixedAvailability(std::vector<std::vector<markov::State>> timeline)

@@ -34,6 +34,15 @@ class AvailabilitySource {
   /// Advance to the next slot.
   virtual void advance() = 0;
 
+  /// Index of the CURRENT slot within this source's stream: 0 at
+  /// construction, incremented once per advance(), so fill_block(buf, n)
+  /// leaves it n slots higher. Consumers that prefetch (the engine pulls
+  /// avail_block slots at a time) leave the source past the last slot they
+  /// simulated; position() is how a caller observes exactly where the
+  /// stream stands instead of guessing at the overshoot (see
+  /// api::Session::run_custom).
+  [[nodiscard]] virtual long position() const = 0;
+
   /// Block-stepping contract: write the states of the next `slots` slots
   /// (starting with the CURRENT one) into `buf`, row-major [slot][proc] with
   /// size() states per row, leaving the source positioned `slots` slots
@@ -91,6 +100,7 @@ class MarkovAvailability final : public AvailabilitySource {
     return states_[static_cast<std::size_t>(q)];
   }
   void advance() override;
+  [[nodiscard]] long position() const override { return slot_; }
 
   /// Fast path: steps every chain through precomputed integer cut points
   /// (one raw engine draw + two compares per processor-slot, no virtual
@@ -102,6 +112,7 @@ class MarkovAvailability final : public AvailabilitySource {
   util::Rng rng_;
   std::vector<markov::State> states_;
   std::vector<StepCuts> cuts_;  ///< per-processor, aligned with states_
+  long slot_ = 0;
 };
 
 /// Fixed, scripted availability (used by tests and the Figure 1 example).
@@ -114,6 +125,7 @@ class FixedAvailability final : public AvailabilitySource {
   [[nodiscard]] int size() const override { return procs_; }
   [[nodiscard]] markov::State state(int q) const override;
   void advance() override { ++slot_; }
+  [[nodiscard]] long position() const override { return slot_; }
 
   [[nodiscard]] long slot() const noexcept { return slot_; }
 

@@ -43,6 +43,7 @@ class CyclostationaryAvailability final : public AvailabilitySource {
     return states_[static_cast<std::size_t>(q)];
   }
   void advance() override;
+  [[nodiscard]] long position() const override { return slot_; }
 
   /// Fast path: integer cut points per (processor, phase), one raw draw and
   /// two compares per processor-slot. Bit-identical to advance().

@@ -26,6 +26,7 @@ TraceReplayAvailability::TraceReplayAvailability(
 
 void TraceReplayAvailability::advance() {
   if (++row_ == timeline_->size()) row_ = 0;
+  ++slot_;
 }
 
 void TraceReplayAvailability::fill_block(markov::State* buf, long slots) {

@@ -34,6 +34,7 @@ class TraceReplayAvailability final : public AvailabilitySource {
     return (*timeline_)[row_][static_cast<std::size_t>(q)];
   }
   void advance() override;
+  [[nodiscard]] long position() const override { return slot_; }
 
   /// Fast path: one bulk row copy per slot, no per-processor dispatch.
   void fill_block(markov::State* buf, long slots) override;
@@ -44,7 +45,8 @@ class TraceReplayAvailability final : public AvailabilitySource {
  private:
   std::shared_ptr<const StateTimeline> timeline_;
   int procs_ = 0;
-  std::size_t row_ = 0;
+  std::size_t row_ = 0;  ///< wraps at the timeline length
+  long slot_ = 0;        ///< does not wrap
 };
 
 }  // namespace tcgrid::platform

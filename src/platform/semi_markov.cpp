@@ -56,7 +56,10 @@ void SemiMarkovAvailability::step_once() {
   }
 }
 
-void SemiMarkovAvailability::advance() { step_once(); }
+void SemiMarkovAvailability::advance() {
+  step_once();
+  ++slot_;
+}
 
 void SemiMarkovAvailability::fill_block(markov::State* buf, long slots) {
   const std::size_t p = params_.size();
@@ -65,6 +68,7 @@ void SemiMarkovAvailability::fill_block(markov::State* buf, long slots) {
     buf += p;
     step_once();
   }
+  slot_ += slots;
 }
 
 StateTimeline record(AvailabilitySource& source, long slots) {

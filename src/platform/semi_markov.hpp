@@ -53,6 +53,7 @@ class SemiMarkovAvailability final : public AvailabilitySource {
     return states_[static_cast<std::size_t>(q)];
   }
   void advance() override;
+  [[nodiscard]] long position() const override { return slot_; }
 
   /// Fast path: most processor-slots only decrement a sojourn counter, so a
   /// block fill is a tight non-virtual loop. Draw-for-draw identical to
@@ -67,6 +68,7 @@ class SemiMarkovAvailability final : public AvailabilitySource {
   util::Rng rng_;
   std::vector<markov::State> states_;
   std::vector<long> remaining_;  ///< slots left in the current sojourn
+  long slot_ = 0;
 };
 
 /// Record `slots` slots of a source into a timeline (for fitting / replay).

@@ -1,6 +1,8 @@
 #include "sched/estimator.hpp"
 
+#include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace tcgrid::sched {
@@ -56,6 +58,56 @@ void Estimator::SetCache::clear() {
   size_ = 0;
 }
 
+MemoizedBuild* Estimator::BuildMemo::find(std::uint64_t key) noexcept {
+  if (table_.empty()) return nullptr;
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+  while (table_[i].slot >= 0) {
+    if (table_[i].key == key) {
+      const auto slot = static_cast<std::size_t>(table_[i].slot);
+      return &chunks_[slot / kChunk][slot % kChunk];
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+MemoizedBuild& Estimator::BuildMemo::insert(std::uint64_t key) {
+  if (table_.empty() || size_ * 4 >= table_.size() * 3) grow();
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+  while (table_[i].slot >= 0) {
+    assert(table_[i].key != key && "BuildMemo::insert: key already present");
+    i = (i + 1) & mask;
+  }
+  if (size_ % kChunk == 0) {
+    chunks_.push_back(std::make_unique<MemoizedBuild[]>(kChunk));
+  }
+  auto& e = table_[i];
+  e.key = key;
+  e.slot = static_cast<std::int32_t>(size_++);
+  const auto slot = static_cast<std::size_t>(e.slot);
+  return chunks_[slot / kChunk][slot % kChunk];
+}
+
+void Estimator::BuildMemo::grow() {
+  std::vector<Entry> old = std::move(table_);
+  table_.assign(old.empty() ? 1024 : old.size() * 2, Entry{});
+  const std::size_t mask = table_.size() - 1;
+  for (const Entry& e : old) {
+    if (e.slot < 0) continue;
+    std::size_t i = static_cast<std::size_t>(mix64(e.key)) & mask;
+    while (table_[i].slot >= 0) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+}
+
+void Estimator::BuildMemo::clear() {
+  table_.clear();
+  chunks_.clear();
+  size_ = 0;
+}
+
 Estimator::Estimator(const platform::Platform& platform, const model::Application& app,
                      double eps)
     : platform_(platform), app_(app), eps_(eps) {
@@ -87,10 +139,11 @@ const markov::CoupledStats& Estimator::set_stats(std::span<const int> set) const
   return stats;
 }
 
-double Estimator::p_no_down(int q, long t) const {
+double Estimator::p_no_down_grow(int q, long t) const {
   if (t <= 0) return 1.0;
-  auto& table = survival_[static_cast<std::size_t>(q)];
-  if (table.empty()) table.push_back(1.0);  // t = 0
+  auto& entry = survival_[static_cast<std::size_t>(q)];
+  auto& table = entry.table;
+  if (table.empty()) table.push_back(1.0);  // t = 0; entry.row is e_U already
   if (static_cast<long>(table.size()) <= t) {
     // Underflow cap: the survival probability is a sum of non-negative
     // doubles, so once an entry is exactly 0.0 every later entry is the
@@ -99,19 +152,24 @@ double Estimator::p_no_down(int q, long t) const {
     // in the remaining slots) extend the table to millions of explicit
     // zeros and dominate whole sweeps.
     if (table.back() == 0.0) return 0.0;
-    // Extend the survival table: table[k] = P(not DOWN within k slots).
-    markov::UrRow row;
-    // Recover the row at the current table end by replaying; tables only
-    // ever grow, so keep the row cached ... recomputing from scratch keeps
-    // the code simple and each extension is amortized O(1) per entry thanks
-    // to geometric growth below.
+    // Extend the table: table[k] = P(not DOWN within k slots). entry.row
+    // stands at the last tabulated k and just keeps advancing — the same
+    // advance sequence a from-scratch replay would run, minus the replay.
+    // Exact growth: with the row cached, resuming costs nothing, so there
+    // is no reason to overshoot the request (the old doubling existed to
+    // amortize the from-scratch replay and did up to 2x the needed work).
     const auto& m = ur_[static_cast<std::size_t>(q)];
-    for (std::size_t k = 1; k < table.size(); ++k) row.advance(m);
-    const long target = std::max<long>(t, static_cast<long>(table.size()) * 2);
-    while (static_cast<long>(table.size()) <= target) {
-      row.advance(m);
-      table.push_back(row.survival());
-      if (table.back() == 0.0) break;  // all later entries are equal zeros
+    while (static_cast<long>(table.size()) <= t) {
+      entry.row.advance(m);
+      double s = entry.row.survival();
+      // Subnormal cut: below DBL_MIN the sequence has left meaningful
+      // territory (these probabilities multiply into estimates that are
+      // already ~0) and subnormal multiplies are 10-100x slower on common
+      // cores — snap to the terminal 0.0 a few thousand slots early instead
+      // of crawling through the denormal tail entry by entry.
+      if (s < std::numeric_limits<double>::min()) s = 0.0;
+      table.push_back(s);
+      if (s == 0.0) break;  // all later entries are equal zeros
     }
     if (static_cast<long>(table.size()) <= t) return 0.0;
   }

@@ -73,7 +73,18 @@ class Estimator {
   }
 
   /// P_ND^{(q)}(t): probability that q (UP now) avoids DOWN for t slots.
-  [[nodiscard]] double p_no_down(int q, long t) const;
+  /// Table-hit fast path inline: this sits under every §V-B evaluation
+  /// (two calls per evaluate, tens of millions per sweep), where the
+  /// out-of-line call itself was measurable. Lazy table growth stays out
+  /// of line.
+  [[nodiscard]] double p_no_down(int q, long t) const {
+    if (t <= 0) return 1.0;
+    const auto& table = survival_[static_cast<std::size_t>(q)].table;
+    if (static_cast<std::size_t>(t) < table.size()) {
+      return table[static_cast<std::size_t>(t)];
+    }
+    return p_no_down_grow(q, t);
+  }
 
   /// Expected communication-phase duration alone (paper §V-B).
   [[nodiscard]] double expected_comm_time(std::span<const CommNeed> needs) const;
@@ -91,13 +102,44 @@ class Estimator {
   /// across all trials and heuristics of a scenario: restarts re-enter the
   /// same (UP set, holdings) signatures over and over across trials, and a
   /// build is a pure function of the signed inputs, so a memo hit returns
-  /// exactly what a rebuild would. Bounded like the set cache.
-  [[nodiscard]] std::unordered_map<std::uint64_t, MemoizedBuild>& build_memo() const {
+  /// exactly what a rebuild would. Open-addressed for the same reason as
+  /// SetCache: the lookup runs once per proactive consult, where bucket
+  /// chasing was measurable. Bounded like the set cache.
+  class BuildMemo {
+   public:
+    /// The memoized build for `key`, or nullptr. The pointer is stable
+    /// across growth (values live in stable chunks).
+    [[nodiscard]] MemoizedBuild* find(std::uint64_t key) noexcept;
+    /// Insert a slot for `key` (which must be absent) and return it. Split
+    /// from find() so callers can run the (throwing) build BEFORE the key
+    /// becomes visible — a lookup-then-build API would memoize an empty
+    /// configuration if the build threw mid-sweep.
+    MemoizedBuild& insert(std::uint64_t key);
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    void clear();
+
+   private:
+    void grow();
+    struct Entry {
+      std::uint64_t key = 0;
+      std::int32_t slot = -1;  // -1 = empty
+    };
+    std::vector<Entry> table_;  // power-of-two capacity
+    static constexpr std::size_t kChunk = 64;
+    std::vector<std::unique_ptr<MemoizedBuild[]>> chunks_;
+    std::size_t size_ = 0;
+  };
+
+  [[nodiscard]] BuildMemo& build_memo() const {
     if (build_memo_.size() >= std::size_t{1} << 20) build_memo_.clear();
     return build_memo_;
   }
 
  private:
+  /// Extend (or start) worker q's survival table through t (p_no_down's
+  /// slow path; see the underflow-cap note in the implementation).
+  double p_no_down_grow(int q, long t) const;
+
   /// Open-addressing bitmask -> CoupledStats memo. set_stats sits on the
   /// m*p-evaluations-per-decision hot path, where std::unordered_map's
   /// bucket chasing is measurable; linear probing over a power-of-two table
@@ -129,10 +171,20 @@ class Estimator {
 
   std::vector<markov::UrMatrix> ur_;               // per-processor UR sub-matrix
   std::vector<markov::CoupledStats> per_proc_;     // coupled_stats({q})
-  mutable std::vector<std::vector<double>> survival_;  // P_ND tables, lazily grown
+  /// Per-worker survival table plus the UR row standing at its last entry,
+  /// so an extension continues advancing instead of replaying the whole
+  /// prefix (tables reach tens of thousands of entries before the
+  /// underflow cap; the replay was quadratic-ish and showed up in sweeps).
+  /// The advance sequence is unchanged, so the tabulated doubles are
+  /// bit-identical to the replayed ones.
+  struct SurvivalTable {
+    std::vector<double> table;  ///< table[k] = P(not DOWN within k slots)
+    markov::UrRow row;          ///< e_U^T M^k for k = table.size() - 1
+  };
+  mutable std::vector<SurvivalTable> survival_;  // P_ND tables, lazily grown
   mutable SetCache set_cache_;
   mutable std::vector<markov::UrMatrix> scratch_;  // reused per set_stats call
-  mutable std::unordered_map<std::uint64_t, MemoizedBuild> build_memo_;
+  mutable BuildMemo build_memo_;
 };
 
 }  // namespace tcgrid::sched

@@ -51,11 +51,17 @@ std::optional<model::Configuration> RandomScheduler::decide(
   const int p = plat.size();
   const int m = view.app->num_tasks;
 
-  std::vector<int> loads(static_cast<std::size_t>(p), 0);
-  std::vector<int> order;
+  // Hoisted buffers: RANDOM is consulted at every un-configured slot of its
+  // (frequently cap-length) runs, and three allocations per consult were
+  // measurable in sweeps.
+  auto& loads = loads_;
+  loads.assign(static_cast<std::size_t>(p), 0);
+  auto& order = order_;
+  order.clear();
   for (int task = 0; task < m; ++task) {
     // Workers eligible for one more task.
-    std::vector<int> eligible;
+    auto& eligible = eligible_;
+    eligible.clear();
     for (int q = 0; q < p; ++q) {
       const auto qi = static_cast<std::size_t>(q);
       if (view.states[qi] != markov::State::Up) continue;

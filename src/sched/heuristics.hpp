@@ -59,6 +59,10 @@ class RandomScheduler final : public sim::Scheduler {
  private:
   util::Rng rng_;
   sim::Quiescence q_;
+  // reusable per-decide buffers (hoisted allocations)
+  std::vector<int> loads_;
+  std::vector<int> order_;
+  std::vector<int> eligible_;
 };
 
 /// Proactive heuristic C-H (criterion `crit`, builder rule `rule`).

@@ -22,19 +22,28 @@ long fresh_need(const sim::SchedulerView& view, int q, int x) {
 }  // namespace
 
 std::uint64_t view_signature(const sim::SchedulerView& view) {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  for (std::size_t q = 0; q < view.states.size(); ++q) {
+  // Two independent FNV-1a lanes over alternating workers, combined at the
+  // end: the one-lane chain serializes a multiply per worker (this hash
+  // runs once per proactive consult), while two lanes halve that latency.
+  // Any deterministic 64-bit hash is sound here — the signature is only a
+  // memo key, and collision odds are unchanged.
+  std::uint64_t h0 = 1469598103934665603ULL;
+  std::uint64_t h1 = 0x9e3779b97f4a7c15ULL;
+  const auto pack = [&view](std::size_t q) {
     std::uint64_t v = view.states[q] == markov::State::Up ? 1 : 0;
     v |= static_cast<std::uint64_t>(view.holdings[q].has_program ? 1 : 0) << 1;
     v |= static_cast<std::uint64_t>(std::min(view.holdings[q].data_messages, 0xffff))
          << 2;
-    mix(v + (static_cast<std::uint64_t>(q) << 32));
+    return v + (static_cast<std::uint64_t>(q) << 32);
+  };
+  const std::size_t n = view.states.size();
+  std::size_t q = 0;
+  for (; q + 1 < n; q += 2) {
+    h0 = (h0 ^ pack(q)) * 1099511628211ULL;
+    h1 = (h1 ^ pack(q + 1)) * 1099511628211ULL;
   }
-  return h;
+  if (q < n) h0 = (h0 ^ pack(q)) * 1099511628211ULL;
+  return h0 ^ (h1 * 0x2545f4914f6cdd1dULL);
 }
 
 const BuiltConfiguration& IncrementalBuilder::build_memoized(
@@ -49,9 +58,13 @@ const BuiltConfiguration& IncrementalBuilder::build_memoized(
   key ^= static_cast<std::uint64_t>(rule_) + 0x9e3779b97f4a7c15ULL;
   key *= 1099511628211ULL;
   auto& memo = estimator_->build_memo();
-  const auto it = memo.find(key);
-  if (it != memo.end()) return it->second;
-  return memo.emplace(key, build_fresh(view)).first->second;
+  if (MemoizedBuild* hit = memo.find(key)) return *hit;
+  // Build BEFORE the key becomes visible: an exception out of build_fresh
+  // must not leave an empty configuration memoized as a valid hit.
+  MemoizedBuild built = build_fresh(view);
+  MemoizedBuild& slot = memo.insert(key);
+  slot = std::move(built);
+  return slot;
 }
 
 BuiltConfiguration IncrementalBuilder::build_fresh(const sim::SchedulerView& view) const {

@@ -58,7 +58,8 @@ void ThreadPool::worker_loop() {
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads) {
+                  std::size_t threads, std::size_t chunk) {
+  if (chunk == 0) chunk = 1;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -66,14 +67,17 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool pool(std::min(threads, n));
+  const std::size_t grabs = (n + chunk - 1) / chunk;
+  ThreadPool pool(std::min(threads, grabs));
   std::atomic<std::size_t> next{0};
   for (std::size_t w = 0; w < pool.size(); ++w) {
     pool.submit([&] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
+        const std::size_t g = next.fetch_add(1);
+        if (g >= grabs) return;
+        const std::size_t lo = g * chunk;
+        const std::size_t hi = std::min(n, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
       }
     });
   }

@@ -49,8 +49,12 @@ class ThreadPool {
 
 /// Run fn(i) for i in [0, n) across a pool; blocks until all complete.
 /// With `threads == 1` (or n small) this is effectively sequential, which
-/// keeps single-core runs deterministic and overhead-free.
+/// keeps single-core runs deterministic and overhead-free. Workers claim
+/// `chunk` CONSECUTIVE aligned indices per dispatch (default 1 = the plain
+/// dynamic schedule): callers whose consecutive indices share expensive
+/// state — Session::run's trials of one scenario sharing a cached
+/// estimator — pass the group size so a whole group lands on one worker.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads = 0);
+                  std::size_t threads = 0, std::size_t chunk = 1);
 
 }  // namespace tcgrid::util

@@ -223,12 +223,17 @@ TEST(Sweep, ThreadCountDoesNotChangeResults) {
 TEST(Sweep, ProgressCallbackReachesTotal) {
   auto config = mini_config();
   std::size_t last = 0, total = 0;
+  std::size_t calls = 0;
   (void)run_sweep(config, [&](std::size_t done, std::size_t n) {
     last = std::max(last, done);
     total = n;
+    ++calls;
   });
-  EXPECT_EQ(last, 2u);
-  EXPECT_EQ(total, 2u);
+  // Trial-major sweeps tick once per (scenario, trial) unit: 2 scenarios x
+  // 2 trials (the adapter inherits the api::Session progress contract).
+  EXPECT_EQ(last, 4u);
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(calls, 4u);
 }
 
 TEST(Sweep, HeuristicIndexLookup) {
