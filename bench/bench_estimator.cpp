@@ -1,14 +1,33 @@
-// Google-benchmark microbenchmarks of the §V estimator mathematics: the
-// truncated series (Theorem 5.1), the renewal recursion cross-check, the
-// survival tables, and the full per-candidate evaluation path that the
-// incremental heuristics hammer (m x p times per scheduling decision).
+// Estimator benchmarks, in two modes:
+//
+//  * default: google-benchmark microbenchmarks of the §V estimator
+//    mathematics — the truncated series (Theorem 5.1), the renewal
+//    recursion cross-check, the survival tables, and the full per-candidate
+//    evaluation path that the incremental heuristics hammer (m x p times
+//    per scheduling decision);
+//  * --emit_json[=PATH]: the CI perf smoke for the canonical chain-stats
+//    store (DESIGN.md §10) — time cold Estimator construction+evaluate,
+//    warm evaluate and survival-table growth with a shared
+//    markov::ChainStatsStore vs per-estimator private stores (the
+//    Options::shared_chain_stats ablation), verify every estimate is
+//    bit-identical between the two, and write the timings plus store hit
+//    rates to BENCH_estimator.json. Exit codes: 0 ok, 2 on any
+//    shared/private divergence (CI fails on it).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "markov/chain_stats.hpp"
 #include "markov/series.hpp"
 #include "platform/scenario.hpp"
 #include "sched/estimator.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -51,7 +70,8 @@ void BM_RenewalRecursion(benchmark::State& state) {
 BENCHMARK(BM_RenewalRecursion)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
 
 void BM_EstimatorEvaluate_Cold(benchmark::State& state) {
-  // Fresh estimator every pass: measures uncached set statistics.
+  // Fresh estimator (private store) every pass: measures uncached set
+  // statistics — the shared_chain_stats=off ablation cost.
   platform::ScenarioParams params;
   params.seed = 5;
   const auto scenario = platform::make_scenario(params);
@@ -67,6 +87,27 @@ void BM_EstimatorEvaluate_Cold(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimatorEvaluate_Cold)->DenseRange(2, 10, 2);
+
+void BM_EstimatorEvaluate_ColdSharedStore(benchmark::State& state) {
+  // Fresh estimator VIEW per pass over one warm shared store: what a new
+  // scenario-cell estimator costs once the session store has seen the
+  // chains (the shared_chain_stats=on steady state).
+  platform::ScenarioParams params;
+  params.seed = 5;
+  const auto scenario = platform::make_scenario(params);
+  auto store = std::make_shared<markov::ChainStatsStore>(1e-6);
+  std::vector<int> set;
+  std::vector<sched::Estimator::CommNeed> needs;
+  for (int q = 0; q < static_cast<int>(state.range(0)); ++q) {
+    set.push_back(q);
+    needs.push_back({q, 12});
+  }
+  for (auto _ : state) {
+    sched::Estimator est(scenario.platform, scenario.app, 1e-6, store);
+    benchmark::DoNotOptimize(est.evaluate(needs, set, 20));
+  }
+}
+BENCHMARK(BM_EstimatorEvaluate_ColdSharedStore)->DenseRange(2, 10, 2);
 
 void BM_EstimatorEvaluate_Warm(benchmark::State& state) {
   // Memoized path: what a steady-state scheduling decision costs.
@@ -99,6 +140,182 @@ void BM_PNoDownTable(benchmark::State& state) {
 }
 BENCHMARK(BM_PNoDownTable)->RangeMultiplier(8)->Range(8, 4096);
 
+// ---------------------------------------------------------------------------
+// --emit_json mode: shared vs private chain-stats store comparison.
+// ---------------------------------------------------------------------------
+
+/// The paper's homogeneous special case: p identical workers on ONE chain
+/// (the store's best case: every per-chain quantity computed once, every
+/// k-subset one multiset entry).
+platform::Scenario homogeneous_scenario(int p) {
+  std::vector<platform::Processor> procs;
+  for (int q = 0; q < p; ++q) {
+    platform::Processor pr;
+    pr.id = q;
+    pr.speed = 2;
+    pr.max_tasks = 10;
+    // Sticky chains (self-loops at the top of the paper's [0.90, 0.99]
+    // range): the realistic homogeneous fleet, and the regime where the
+    // truncated series runs longest — i.e. where re-deriving it per
+    // estimator hurts most.
+    pr.availability = markov::TransitionMatrix::from_self_loops(0.99, 0.95, 0.90);
+    procs.push_back(pr);
+  }
+  model::Application app;
+  app.num_tasks = 5;
+  app.t_prog = 10;
+  app.t_data = 2;
+  app.iterations = 10;
+  platform::ScenarioParams params;
+  params.p = p;
+  return platform::Scenario{platform::Platform(std::move(procs), 5), app, params};
+}
+
+struct ModeTiming {
+  double cold_us = 0.0;       ///< construct + first-decision evaluates, fresh estimator
+  double warm_ns = 0.0;       ///< evaluate on a warm estimator
+  double growth_us = 0.0;     ///< p_no_down deep-table growth, fresh estimator
+  std::vector<sched::IterationEstimate> probes;  ///< divergence-gate samples
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// One mode's measurements. `store` null = private stores (the ablation).
+ModeTiming time_mode(const platform::Scenario& scenario,
+                     const std::shared_ptr<markov::ChainStatsStore>& store,
+                     int reps) {
+  ModeTiming out;
+  std::vector<int> set;
+  std::vector<sched::Estimator::CommNeed> needs;
+  const int k = std::min(10, scenario.platform.size());
+  for (int q = 0; q < k; ++q) {
+    set.push_back(q);
+    needs.push_back({q, 12});
+  }
+
+  // Cold: construction + a first incremental decision's worth of candidate
+  // evaluations (the builder scores growing prefix sets) per fresh
+  // estimator — the cost a sweep pays per scenario cell (and per thread)
+  // before any cache is warm.
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    sched::Estimator est(scenario.platform, scenario.app, 1e-6, store);
+    out.probes.clear();
+    for (int len = 1; len <= k; ++len) {
+      out.probes.push_back(est.evaluate(std::span(needs).first(len),
+                                        std::span(set).first(len), 20));
+    }
+  }
+  out.cold_us = seconds_since(t0) * 1e6 / reps;
+
+  // Warm: the steady-state decision cost (front-cache hit path).
+  sched::Estimator warm(scenario.platform, scenario.app, 1e-6, store);
+  (void)warm.evaluate(needs, set, 20);
+  const int warm_reps = reps * 200;
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < warm_reps; ++r) {
+    benchmark::DoNotOptimize(warm.evaluate(needs, set, 20));
+  }
+  out.warm_ns = seconds_since(t0) * 1e9 / warm_reps;
+
+  // Table growth: a deep survival query on a fresh estimator (shared mode
+  // reads the already-grown store table; private mode re-tabulates).
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    sched::Estimator est(scenario.platform, scenario.app, 1e-6, store);
+    benchmark::DoNotOptimize(est.p_no_down(0, 20'000));
+  }
+  out.growth_us = seconds_since(t0) * 1e6 / reps;
+  return out;
+}
+
+bool bit_identical(const std::vector<sched::IterationEstimate>& a,
+                   const std::vector<sched::IterationEstimate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].p_success != b[i].p_success || a[i].e_time != b[i].e_time) return false;
+  }
+  return true;
+}
+
+int emit_json(const util::Cli& cli) {
+  const std::string path = [&] {
+    auto v = cli.value("emit_json");
+    return (v && !v->empty()) ? *v : std::string("BENCH_estimator.json");
+  }();
+  const int reps = static_cast<int>(cli.get_long("reps", 200));
+
+  struct Case {
+    const char* name;
+    platform::Scenario scenario;
+  };
+  platform::ScenarioParams paper_params;
+  paper_params.seed = 5;
+  std::vector<Case> cases;
+  cases.push_back({"homogeneous", homogeneous_scenario(20)});
+  cases.push_back({"paper", platform::make_scenario(paper_params)});
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_estimator: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"estimator_chain_stats\",\n  \"reps\": " << reps
+      << ",\n  \"platforms\": [\n";
+
+  bool all_identical = true;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    // Shared store: session-style, one store for every estimator of the
+    // case. Private: the shared_chain_stats=off ablation.
+    auto store = std::make_shared<markov::ChainStatsStore>(1e-6);
+    const ModeTiming shared = time_mode(c.scenario, store, reps);
+    const ModeTiming priv = time_mode(c.scenario, nullptr, reps);
+    const bool identical = bit_identical(shared.probes, priv.probes);
+    all_identical = all_identical && identical;
+    const auto counters = store->counters();
+
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"p\": %d, \"distinct_chains\": %zu,\n"
+        "     \"cold_us\": {\"shared\": %.2f, \"private\": %.2f, \"speedup\": %.2f},\n"
+        "     \"warm_evaluate_ns\": {\"shared\": %.0f, \"private\": %.0f},\n"
+        "     \"table_growth_us\": {\"shared\": %.2f, \"private\": %.2f},\n"
+        "     \"store\": {\"chains\": %zu, \"intern_hits\": %zu, \"set_entries\": %zu, "
+        "\"set_hits\": %zu, \"set_misses\": %zu, \"survival_entries\": %zu, "
+        "\"bytes\": %zu},\n"
+        "     \"identical\": %s}%s\n",
+        c.name, c.scenario.platform.size(), counters.chains, shared.cold_us,
+        priv.cold_us, priv.cold_us / shared.cold_us, shared.warm_ns, priv.warm_ns,
+        shared.growth_us, priv.growth_us, counters.chains, counters.intern_hits,
+        counters.set_entries, counters.set_hits, counters.set_misses,
+        counters.survival_entries, counters.bytes, identical ? "true" : "false",
+        i + 1 < cases.size() ? "," : "");
+    out << buf;
+    std::fprintf(stderr,
+                 "%-12s cold %8.2fus shared / %8.2fus private (x%.1f)  warm "
+                 "%6.0fns / %6.0fns  growth %8.2fus / %8.2fus  %s\n",
+                 c.name, shared.cold_us, priv.cold_us, priv.cold_us / shared.cold_us,
+                 shared.warm_ns, priv.warm_ns, shared.growth_us, priv.growth_us,
+                 identical ? "identical" : "MISMATCH");
+  }
+  out << "  ],\n  \"all_identical\": " << (all_identical ? "true" : "false")
+      << "\n}\n";
+  std::fprintf(stderr, "bench_estimator: wrote %s\n", path.c_str());
+  return all_identical ? 0 : 2;  // CI fails on shared/private divergence
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.has("emit_json")) return emit_json(cli);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,6 +20,7 @@
 
 #include "api/api.hpp"
 #include "bench_common.hpp"
+#include "markov/chain_stats.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -32,6 +33,7 @@ struct SweepTiming {
   std::size_t rows = 0;
   long slots = 0;
   std::uint64_t digest = 0;
+  markov::ChainStatsStore::Counters store{};  ///< chain-stats store stats
 };
 
 SweepTiming run_sweep(const api::ExperimentSpec& spec) {
@@ -45,6 +47,7 @@ SweepTiming run_sweep(const api::ExperimentSpec& spec) {
   out.rows = digest.rows();
   out.slots = digest.slots();
   out.digest = digest.digest();
+  out.store = session.chain_store_counters();
   return out;
 }
 
@@ -112,12 +115,22 @@ int main(int argc, char** argv) {
   const double live_rate = static_cast<double>(live_t.rows) / live_t.seconds;
   const double speedup = live_t.seconds / shared_t.seconds;
 
+  // Chain-stats store statistics of the shared arm (both arms share the
+  // store — realization sharing is the axis under test here), so the wall
+  // times are attributable: how much series math the store deduplicated.
+  const auto& cs = shared_t.store;
+  const double set_hit_rate =
+      cs.set_hits + cs.set_misses == 0
+          ? 0.0
+          : static_cast<double>(cs.set_hits) /
+                static_cast<double>(cs.set_hits + cs.set_misses);
+
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_sweep: cannot write %s\n", path.c_str());
     return 1;
   }
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
@@ -129,18 +142,27 @@ int main(int argc, char** argv) {
       "  \"shared\": {\"seconds\": %.3f, \"rows_per_sec\": %.1f},\n"
       "  \"live\": {\"seconds\": %.3f, \"rows_per_sec\": %.1f},\n"
       "  \"speedup\": %.3f,\n"
+      "  \"chain_store\": {\"chains\": %zu, \"intern_hits\": %zu, "
+      "\"set_entries\": %zu, \"set_hits\": %zu, \"set_misses\": %zu, "
+      "\"set_hit_rate\": %.3f, \"survival_entries\": %zu, \"bytes\": %zu},\n"
       "  \"identical\": %s\n"
       "}\n",
       spec.grid.ms[0], spec.grid.scenarios_per_cell, spec.trials,
       spec.options.slot_cap, spec.heuristics.size(), shared_t.rows, shared_t.slots,
-      shared_t.seconds, shared_rate, live_t.seconds, live_rate, speedup,
-      identical ? "true" : "false");
+      shared_t.seconds, shared_rate, live_t.seconds, live_rate, speedup, cs.chains,
+      cs.intern_hits, cs.set_entries, cs.set_hits, cs.set_misses, set_hit_rate,
+      cs.survival_entries, cs.bytes, identical ? "true" : "false");
   out << buf;
   std::fprintf(stderr,
                "bench_sweep: %zu rows  shared %.3fs (%.0f rows/s)  live %.3fs "
                "(%.0f rows/s)  speedup x%.2f  %s\n",
                shared_t.rows, shared_t.seconds, shared_rate, live_t.seconds,
                live_rate, speedup, identical ? "identical" : "MISMATCH");
+  std::fprintf(stderr,
+               "bench_sweep: chain store  %zu chains (+%zu dedup hits)  %zu set "
+               "entries (%.1f%% hit rate)  %zu survival entries  %zu bytes\n",
+               cs.chains, cs.intern_hits, cs.set_entries, 100.0 * set_hit_rate,
+               cs.survival_entries, cs.bytes);
   std::fprintf(stderr, "bench_sweep: wrote %s\n", path.c_str());
   return identical ? 0 : 2;  // CI fails on shared/live divergence
 }

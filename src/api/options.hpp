@@ -43,6 +43,18 @@ struct Options {
   // --- estimator -----------------------------------------------------------
   double eps = 1e-6;  ///< truncation precision of the §V series
 
+  // --- shared chain statistics (DESIGN.md §10) ------------------------------
+  /// Share one markov::ChainStatsStore across every estimator the session
+  /// builds: UR sub-matrices are interned by content, and the §V series math
+  /// — per-chain survival tables, per-chain and multiset-keyed coupled
+  /// statistics — is computed once per DISTINCT chain for all processors,
+  /// heuristics, trials, scenario cells and worker threads (on a homogeneous
+  /// platform, one entry per set size instead of p-choose-k). Results are
+  /// bit-identical on and off (enforced by tests and the bench_estimator
+  /// divergence gate); false gives every estimator a private store — the
+  /// ablation baseline matching the old per-estimator caches.
+  bool shared_chain_stats = true;
+
   // --- availability --------------------------------------------------------
   platform::InitialStates init = platform::InitialStates::Stationary;
 

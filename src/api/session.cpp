@@ -11,13 +11,18 @@
 
 namespace tcgrid::api {
 
-Session::Session(Options options) : options_(options) {}
+Session::Session(Options options) : options_(options) {
+  if (options_.shared_chain_stats) {
+    chain_store_ = std::make_shared<markov::ChainStatsStore>(options_.eps);
+  }
+}
 
 Session::ScenarioEntry::ScenarioEntry(std::shared_ptr<const scen::PlatformFamily> fam,
-                                      const platform::ScenarioParams& params, double eps)
+                                      const platform::ScenarioParams& params, double eps,
+                                      std::shared_ptr<markov::ChainStatsStore> store)
     : family(std::move(fam)),
       scenario(family->make(params)),
-      estimator(scenario.platform, scenario.app, eps) {}
+      estimator(scenario.platform, scenario.app, eps, std::move(store)) {}
 
 Session::ThreadCache& Session::this_thread_cache() {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -40,7 +45,7 @@ Session::ScenarioEntry& Session::entry_for(
   auto it = cache.find(key);
   if (it == cache.end()) {
     it = cache.emplace(key, std::make_unique<ScenarioEntry>(std::move(family), params,
-                                                            options_.eps))
+                                                            options_.eps, chain_store_))
              .first;
   }
   return *it->second;
@@ -49,6 +54,26 @@ Session::ScenarioEntry& Session::entry_for(
 void Session::clear_caches() {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   caches_.clear();
+  if (chain_store_ != nullptr) {
+    // The estimators holding the old store are gone with the caches; a
+    // fresh store releases its survival tables and set entries (the bulk of
+    // a hot sweep's estimator memory).
+    chain_store_ = std::make_shared<markov::ChainStatsStore>(options_.eps);
+  }
+}
+
+markov::ChainStatsStore::Counters Session::chain_store_counters() {
+  // Copy the pointer under the cache mutex: clear_caches() reassigns
+  // chain_store_ under the same lock, so a monitoring thread polling
+  // counters mid-sweep cannot race the swap (the store itself is
+  // thread-safe; only the member read needs the lock).
+  std::shared_ptr<markov::ChainStatsStore> store;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    store = chain_store_;
+  }
+  if (store == nullptr) return {};
+  return store->counters();
 }
 
 std::size_t Session::cached_entries() {

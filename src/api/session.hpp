@@ -39,6 +39,7 @@
 #include "api/options.hpp"
 #include "api/sink.hpp"
 #include "api/spec.hpp"
+#include "markov/chain_stats.hpp"
 #include "platform/availability.hpp"
 #include "platform/realization.hpp"
 #include "platform/scenario.hpp"
@@ -148,13 +149,37 @@ class Session {
   /// share it with another thread.
   [[nodiscard]] const sched::Estimator& estimator_for(const platform::ScenarioParams& params);
 
-  /// Drop every thread's cached scenario/estimator entries. A long-lived
+  /// Drop every thread's cached scenario/estimator entries, and (when
+  /// options().shared_chain_stats) replace the shared chain-statistics
+  /// store with a fresh one — the store's survival tables and set entries
+  /// are where a long sweep's estimator memory actually lives. A long-lived
   /// session that sweeps many scenario populations otherwise retains one
   /// estimator per (thread, scenario) forever; call this between sweeps
   /// (cells) to bound memory. MUST NOT run concurrently with run /
   /// run_trial / scenario_for / estimator_for — references returned by
   /// those calls are invalidated.
   void clear_caches();
+
+  /// Observability of the session-shared chain-statistics store (DESIGN.md
+  /// §10): distinct chains interned, intern dedup hits, multiset set-stats
+  /// entries/hits/misses, published survival entries and resident bytes —
+  /// the byte accounting counterpart of Options::realization_budget's
+  /// budget, reported alongside cached_entries(). All zeros when
+  /// shared_chain_stats is off (each estimator then owns a private store).
+  /// Counters are cumulative until clear_caches() resets the store. Safe
+  /// to call from any thread at any time (the store pointer is read under
+  /// the cache mutex; the store itself is thread-safe).
+  [[nodiscard]] markov::ChainStatsStore::Counters chain_store_counters();
+
+  /// The session-shared store itself (nullptr when shared_chain_stats is
+  /// off). Exposed for tests and benches; production code observes it
+  /// through chain_store_counters(). Unlike that accessor, this returns a
+  /// reference to the member: it MUST NOT be called concurrently with
+  /// clear_caches(), which reassigns it.
+  [[nodiscard]] const std::shared_ptr<markov::ChainStatsStore>& chain_store()
+      const noexcept {
+    return chain_store_;
+  }
 
   /// Total cached scenario entries across all threads (observability for
   /// memory monitoring and the clear_caches tests). Same concurrency
@@ -173,8 +198,11 @@ class Session {
   /// (otherwise a later family could be allocated at the same address and
   /// alias the key).
   struct ScenarioEntry {
+    /// `store`: the session's shared chain-statistics store, or nullptr for
+    /// a private per-estimator store (shared_chain_stats ablated).
     ScenarioEntry(std::shared_ptr<const scen::PlatformFamily> family,
-                  const platform::ScenarioParams& params, double eps);
+                  const platform::ScenarioParams& params, double eps,
+                  std::shared_ptr<markov::ChainStatsStore> store);
     std::shared_ptr<const scen::PlatformFamily> family;
     platform::Scenario scenario;
     sched::Estimator estimator;
@@ -217,6 +245,12 @@ class Session {
       std::string_view heuristic, int trial);
 
   Options options_;
+
+  /// One store per session (created when options_.shared_chain_stats),
+  /// handed to every estimator the session builds and shared by all pool
+  /// workers of run(). Replaced wholesale by clear_caches() — estimators
+  /// keep their store alive via shared_ptr, so a reset cannot strand one.
+  std::shared_ptr<markov::ChainStatsStore> chain_store_;
 
   std::mutex cache_mutex_;  ///< guards the per-thread cache directory only
   std::map<std::thread::id, ThreadCache> caches_;

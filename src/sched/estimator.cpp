@@ -1,15 +1,18 @@
 #include "sched/estimator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 
 namespace tcgrid::sched {
 
 namespace {
-// Bound the memoization table; reached only by pathological runs.
+// Bound the front cache / build memo; reached only by pathological runs.
+// Eviction retires value chunks for one epoch instead of freeing them, so a
+// reference held across the cap stays valid (see evict()).
 constexpr std::size_t kMaxCachedSets = std::size_t{1} << 22;
+constexpr std::size_t kMaxMemoizedBuilds = std::size_t{1} << 20;
 
 // Finalizer of splitmix64: full-avalanche mixing of the set bitmask.
 constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
@@ -23,7 +26,7 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
 }  // namespace
 
 markov::CoupledStats& Estimator::SetCache::lookup(std::uint64_t key, bool& fresh) {
-  if (table_.empty() || size_ * 4 >= table_.size() * 3) grow();
+  if (table_.empty() || size_ * 2 >= table_.size()) grow();
   const std::size_t mask = table_.size() - 1;
   std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
   while (table_[i].slot >= 0 && table_[i].key != key) i = (i + 1) & mask;
@@ -52,9 +55,17 @@ void Estimator::SetCache::grow() {
   }
 }
 
-void Estimator::SetCache::clear() {
+void Estimator::SetCache::evict() {
+  // Epoch retirement: drop the index, but keep the current value chunks
+  // alive for one more epoch (and only now free the PREVIOUS epoch's). A
+  // reference returned before this call therefore dereferences unchanged
+  // storage until the NEXT cap-triggered eviction — a full cap's worth of
+  // insertions away — instead of dangling immediately, which was the
+  // historical clear()-on-next-call hazard.
+  assert(size_ > 0 && "SetCache::evict: eviction with nothing inserted");
   table_.clear();
-  chunks_.clear();
+  retired_.clear();
+  retired_.swap(chunks_);
   size_ = 0;
 }
 
@@ -73,6 +84,9 @@ MemoizedBuild* Estimator::BuildMemo::find(std::uint64_t key) noexcept {
 }
 
 MemoizedBuild& Estimator::BuildMemo::insert(std::uint64_t key) {
+  // 3/4 max load: the memo reaches hundreds of thousands of entries, where
+  // the probe table's cache footprint costs more than the longer chains
+  // (unlike SetCache, whose table stays small enough to keep at 1/2).
   if (table_.empty() || size_ * 4 >= table_.size() * 3) grow();
   const std::size_t mask = table_.size() - 1;
   std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
@@ -102,78 +116,71 @@ void Estimator::BuildMemo::grow() {
   }
 }
 
-void Estimator::BuildMemo::clear() {
+void Estimator::BuildMemo::evict() {
+  // Same epoch-retirement contract as SetCache::evict().
+  assert(size_ > 0 && "BuildMemo::evict: eviction with nothing inserted");
   table_.clear();
-  chunks_.clear();
+  retired_.clear();
+  retired_.swap(chunks_);
   size_ = 0;
 }
 
 Estimator::Estimator(const platform::Platform& platform, const model::Application& app,
-                     double eps)
-    : platform_(platform), app_(app), eps_(eps) {
+                     double eps, std::shared_ptr<markov::ChainStatsStore> store)
+    : platform_(platform),
+      app_(app),
+      eps_(eps),
+      store_(std::move(store)),
+      set_cap_(kMaxCachedSets),
+      build_cap_(kMaxMemoizedBuilds) {
   if (eps_ <= 0.0) throw std::invalid_argument("Estimator: eps must be positive");
   if (platform_.size() > 64) {
     throw std::invalid_argument("Estimator: more than 64 processors unsupported");
   }
+  if (store_ == nullptr) {
+    // Sharing ablated: a private store. Same code path, same values — the
+    // store's results are pure functions of chain content (DESIGN.md §10),
+    // so shared and private resolution are bit-identical by construction.
+    store_ = std::make_shared<markov::ChainStatsStore>(eps_);
+  } else if (store_->eps() != eps_) {
+    throw std::invalid_argument(
+        "Estimator: eps differs from the shared chain-stats store's");
+  }
   const auto p = static_cast<std::size_t>(platform_.size());
-  ur_.reserve(p);
+  chain_of_.reserve(p);
+  surv_of_.reserve(p);
   per_proc_.reserve(p);
   for (int q = 0; q < platform_.size(); ++q) {
-    ur_.push_back(markov::ur_submatrix(platform_.proc(q).availability));
-    per_proc_.push_back(markov::coupled_stats({&ur_.back(), 1}, eps_));
+    // Intern first, compute once per DISTINCT chain: the store's per-chain
+    // quad and shared survival table are built on first sight of the chain
+    // CONTENT — on a homogeneous platform the old constructor ran
+    // coupled_stats p times for p identical chains; now p-1 of these calls
+    // are dedup hits that only copy the 4-scalar quad.
+    const markov::ChainId id =
+        store_->intern(markov::ur_submatrix(platform_.proc(q).availability));
+    chain_of_.push_back(id);
+    per_proc_.push_back(store_->chain_stats(id));
+    surv_of_.push_back(&store_->survival(id));
   }
-  survival_.resize(p);
 }
 
 const markov::CoupledStats& Estimator::set_stats(std::span<const int> set) const {
   std::uint64_t key = 0;
   for (int q : set) key |= std::uint64_t{1} << q;
-  if (set_cache_.size() >= kMaxCachedSets) set_cache_.clear();
+  if (set_cache_.size() >= set_cap_) set_cache_.evict();
   bool fresh = false;
   markov::CoupledStats& stats = set_cache_.lookup(key, fresh);
   if (fresh) {
-    scratch_.clear();
-    for (int q : set) scratch_.push_back(ur_[static_cast<std::size_t>(q)]);
-    stats = markov::coupled_stats(scratch_, eps_);
+    // Resolve through the store by the sorted multiset of chain ids: on a
+    // homogeneous platform every k-subset of workers lands on the same
+    // store entry, and cells sharing chain content share the series math.
+    auto& ids = scratch_ids_;
+    ids.clear();
+    for (int q : set) ids.push_back(chain_of_[static_cast<std::size_t>(q)]);
+    std::sort(ids.begin(), ids.end());
+    stats = store_->set_stats(ids);
   }
   return stats;
-}
-
-double Estimator::p_no_down_grow(int q, long t) const {
-  if (t <= 0) return 1.0;
-  auto& entry = survival_[static_cast<std::size_t>(q)];
-  auto& table = entry.table;
-  if (table.empty()) table.push_back(1.0);  // t = 0; entry.row is e_U already
-  if (static_cast<long>(table.size()) <= t) {
-    // Underflow cap: the survival probability is a sum of non-negative
-    // doubles, so once an entry is exactly 0.0 every later entry is the
-    // identical 0.0 — stop tabulating and answer 0.0 directly. Without
-    // this, near-hopeless communication phases (e_comm grows exponentially
-    // in the remaining slots) extend the table to millions of explicit
-    // zeros and dominate whole sweeps.
-    if (table.back() == 0.0) return 0.0;
-    // Extend the table: table[k] = P(not DOWN within k slots). entry.row
-    // stands at the last tabulated k and just keeps advancing — the same
-    // advance sequence a from-scratch replay would run, minus the replay.
-    // Exact growth: with the row cached, resuming costs nothing, so there
-    // is no reason to overshoot the request (the old doubling existed to
-    // amortize the from-scratch replay and did up to 2x the needed work).
-    const auto& m = ur_[static_cast<std::size_t>(q)];
-    while (static_cast<long>(table.size()) <= t) {
-      entry.row.advance(m);
-      double s = entry.row.survival();
-      // Subnormal cut: below DBL_MIN the sequence has left meaningful
-      // territory (these probabilities multiply into estimates that are
-      // already ~0) and subnormal multiplies are 10-100x slower on common
-      // cores — snap to the terminal 0.0 a few thousand slots early instead
-      // of crawling through the denormal tail entry by entry.
-      if (s < std::numeric_limits<double>::min()) s = 0.0;
-      table.push_back(s);
-      if (s == 0.0) break;  // all later entries are equal zeros
-    }
-    if (static_cast<long>(table.size()) <= t) return 0.0;
-  }
-  return table[static_cast<std::size_t>(t)];
 }
 
 double Estimator::expected_comm_time(std::span<const CommNeed> needs) const {
@@ -182,7 +189,7 @@ double Estimator::expected_comm_time(std::span<const CommNeed> needs) const {
   for (const auto& n : needs) {
     total += n.slots;
     if (n.slots <= 0) continue;
-    const auto& st = per_proc_[static_cast<std::size_t>(n.proc)];
+    const auto& st = proc_stats(n.proc);
     e_comm = std::max(e_comm, st.expected_time(n.slots));
   }
   if (static_cast<int>(needs.size()) > platform_.ncom() && total > 0) {

@@ -12,19 +12,30 @@
 //                         P_comm = prod_q P_ND^{(q)}(E_comm)
 //   iteration:           P = P_comm * P_comp,  E = E_comm + E_comp
 //
-// Set-level statistics are memoized by membership bitmask (the platform is
-// fixed per run), and per-processor survival rows are tabulated lazily, so
-// the incremental heuristics' O(m*p) candidate evaluations per decision are
-// cheap after warm-up. Instances are NOT thread-safe; use one per run.
+// The estimator is a thin per-scenario VIEW over a markov::ChainStatsStore
+// (DESIGN.md §10): at construction every processor's UR sub-matrix is
+// interned by content, and all series math — per-chain coupled statistics,
+// survival tables, set-level coupled statistics keyed by the multiset of
+// chain ids — resolves through the store, computed once per distinct chain
+// (or multiset) no matter how many processors, estimators or threads share
+// it. Pass a session-shared store to share across scenario cells and pool
+// workers (api::Options::shared_chain_stats); omit it and the estimator owns
+// a private store — the ablation baseline, bit-identical by construction.
+//
+// Set-level statistics are additionally front-cached per view by membership
+// bitmask (the platform is fixed per run), so the incremental heuristics'
+// O(m*p) candidate evaluations per decision never touch a lock after
+// warm-up. Instances are NOT thread-safe; use one per run.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "markov/chain_stats.hpp"
 #include "markov/series.hpp"
 #include "model/application.hpp"
 #include "model/configuration.hpp"
@@ -48,9 +59,14 @@ struct MemoizedBuild {
 
 class Estimator {
  public:
-  /// eps: truncation precision of the Theorem 5.1 series.
+  /// eps: truncation precision of the Theorem 5.1 series. `store`: the
+  /// chain-statistics store to resolve through; nullptr (the default) gives
+  /// the estimator a private store. A shared store's eps must equal `eps`
+  /// (throws std::invalid_argument otherwise — every stored quantity
+  /// depends on the truncation precision).
   Estimator(const platform::Platform& platform, const model::Application& app,
-            double eps = 1e-9);
+            double eps = 1e-9,
+            std::shared_ptr<markov::ChainStatsStore> store = nullptr);
 
   /// Remaining communication need of one enrolled worker.
   struct CommNeed {
@@ -64,10 +80,18 @@ class Estimator {
   [[nodiscard]] IterationEstimate evaluate(std::span<const CommNeed> needs,
                                            std::span<const int> set, long w) const;
 
-  /// Coupled-computation statistics of a worker set (memoized).
+  /// Coupled-computation statistics of a worker set. Front-cached per view
+  /// by membership bitmask; resolved through the store by the multiset of
+  /// chain ids on a front miss. The reference stays valid until the SECOND
+  /// cap-triggered eviction after it was returned (epoch retirement, see
+  /// SetCache::evict) — in practice, for any realistic hold.
   [[nodiscard]] const markov::CoupledStats& set_stats(std::span<const int> set) const;
 
   /// Single-worker statistics (used for per-worker communication times).
+  /// A per-view copy of the store's per-chain quad — the heavy series math
+  /// ran once per DISTINCT chain in the store; the copy exists so this
+  /// view's lazily grown w-memo stays private (and the lookup stays a
+  /// direct vector index: this sits under every §V-B evaluation).
   [[nodiscard]] const markov::CoupledStats& proc_stats(int q) const {
     return per_proc_[static_cast<std::size_t>(q)];
   }
@@ -75,15 +99,20 @@ class Estimator {
   /// P_ND^{(q)}(t): probability that q (UP now) avoids DOWN for t slots.
   /// Table-hit fast path inline: this sits under every §V-B evaluation
   /// (two calls per evaluate, tens of millions per sweep), where the
-  /// out-of-line call itself was measurable. Lazy table growth stays out
-  /// of line.
+  /// out-of-line call itself was measurable. The table is the chain's
+  /// shared store table, read lock-free at the exact depth of the old
+  /// private flat vector (published-length acquire + pointer + index); the
+  /// terminal exact-zero answer is also inline and lock-free, because once
+  /// the table ends in 0.0 it is complete forever. Only growth goes out of
+  /// line (per-chain append mutex).
   [[nodiscard]] double p_no_down(int q, long t) const {
     if (t <= 0) return 1.0;
-    const auto& table = survival_[static_cast<std::size_t>(q)].table;
-    if (static_cast<std::size_t>(t) < table.size()) {
-      return table[static_cast<std::size_t>(t)];
-    }
-    return p_no_down_grow(q, t);
+    markov::ChainSurvival& s = *surv_of_[static_cast<std::size_t>(q)];
+    const long n = s.published();
+    const double* flat = s.flat();
+    if (t < n) return flat[t];
+    if (n > 0 && flat[n - 1] == 0.0) return 0.0;
+    return s.grow_to(t);
   }
 
   /// Expected communication-phase duration alone (paper §V-B).
@@ -93,8 +122,28 @@ class Estimator {
   [[nodiscard]] const platform::Platform& platform() const noexcept { return platform_; }
   [[nodiscard]] const model::Application& app() const noexcept { return app_; }
 
-  /// Number of distinct worker sets memoized so far (observability/tests).
+  /// The store this view resolves through (shared or private).
+  [[nodiscard]] const std::shared_ptr<markov::ChainStatsStore>& chain_store()
+      const noexcept {
+    return store_;
+  }
+
+  /// Canonical id of processor q's availability chain in chain_store().
+  [[nodiscard]] markov::ChainId chain_id(int q) const {
+    return chain_of_[static_cast<std::size_t>(q)];
+  }
+
+  /// Number of distinct worker sets front-cached so far (observability/tests).
   [[nodiscard]] std::size_t cached_sets() const noexcept { return set_cache_.size(); }
+
+  /// Test hook: lower the eviction caps of the set front cache and the build
+  /// memo so epoch retirement is exercisable without 4M insertions. Caps are
+  /// clamped to >= 1: a zero cap would request eviction of an empty cache,
+  /// which the eviction path (correctly) asserts against.
+  void set_eviction_caps_for_test(std::size_t sets, std::size_t builds) const noexcept {
+    set_cap_ = std::max<std::size_t>(1, sets);
+    build_cap_ = std::max<std::size_t>(1, builds);
+  }
 
   /// Shared memo of incremental builds, keyed by (rule, input-signature) —
   /// see IncrementalBuilder::build. It lives here, not in the per-trial
@@ -104,7 +153,8 @@ class Estimator {
   /// build is a pure function of the signed inputs, so a memo hit returns
   /// exactly what a rebuild would. Open-addressed for the same reason as
   /// SetCache: the lookup runs once per proactive consult, where bucket
-  /// chasing was measurable. Bounded like the set cache.
+  /// chasing was measurable. Bounded like the set cache, with the same
+  /// epoch-retired eviction (references survive one full epoch).
   class BuildMemo {
    public:
     /// The memoized build for `key`, or nullptr. The pointer is stable
@@ -116,7 +166,12 @@ class Estimator {
     /// configuration if the build threw mid-sweep.
     MemoizedBuild& insert(std::uint64_t key);
     [[nodiscard]] std::size_t size() const noexcept { return size_; }
-    void clear();
+    /// Cap-triggered eviction with epoch retirement: the index is dropped
+    /// but the value chunks survive until the NEXT eviction, so references
+    /// handed out before this call keep reading their (unchanged) values
+    /// for a whole epoch — the fix for the historical dangling-reference
+    /// hazard of an eager clear() (DESIGN.md §10).
+    void evict();
 
    private:
     void grow();
@@ -127,31 +182,30 @@ class Estimator {
     std::vector<Entry> table_;  // power-of-two capacity
     static constexpr std::size_t kChunk = 64;
     std::vector<std::unique_ptr<MemoizedBuild[]>> chunks_;
+    std::vector<std::unique_ptr<MemoizedBuild[]>> retired_;  // previous epoch
     std::size_t size_ = 0;
   };
 
   [[nodiscard]] BuildMemo& build_memo() const {
-    if (build_memo_.size() >= std::size_t{1} << 20) build_memo_.clear();
+    if (build_memo_.size() >= build_cap_) build_memo_.evict();
     return build_memo_;
   }
 
  private:
-  /// Extend (or start) worker q's survival table through t (p_no_down's
-  /// slow path; see the underflow-cap note in the implementation).
-  double p_no_down_grow(int q, long t) const;
-
-  /// Open-addressing bitmask -> CoupledStats memo. set_stats sits on the
-  /// m*p-evaluations-per-decision hot path, where std::unordered_map's
+  /// Open-addressing bitmask -> CoupledStats front cache. set_stats sits on
+  /// the m*p-evaluations-per-decision hot path, where std::unordered_map's
   /// bucket chasing is measurable; linear probing over a power-of-two table
   /// of (key, slot) pairs is 2-3x cheaper per hit. Values live in a stable
-  /// deque-like store so returned references survive growth.
+  /// deque-like store so returned references survive growth, and eviction
+  /// retires chunks for one epoch instead of freeing them (see evict()).
   class SetCache {
    public:
     /// Returns the value slot for `key`, default-constructing it (and
     /// setting `fresh`) on first sight.
     markov::CoupledStats& lookup(std::uint64_t key, bool& fresh);
     [[nodiscard]] std::size_t size() const noexcept { return size_; }
-    void clear();
+    /// Same epoch-retired eviction contract as BuildMemo::evict().
+    void evict();
 
    private:
     void grow();
@@ -162,6 +216,7 @@ class Estimator {
     std::vector<Entry> table_;  // power-of-two capacity
     static constexpr std::size_t kChunk = 256;
     std::vector<std::unique_ptr<markov::CoupledStats[]>> chunks_;
+    std::vector<std::unique_ptr<markov::CoupledStats[]>> retired_;  // prev epoch
     std::size_t size_ = 0;
   };
 
@@ -169,22 +224,24 @@ class Estimator {
   const model::Application& app_;
   double eps_;
 
-  std::vector<markov::UrMatrix> ur_;               // per-processor UR sub-matrix
-  std::vector<markov::CoupledStats> per_proc_;     // coupled_stats({q})
-  /// Per-worker survival table plus the UR row standing at its last entry,
-  /// so an extension continues advancing instead of replaying the whole
-  /// prefix (tables reach tens of thousands of entries before the
-  /// underflow cap; the replay was quadratic-ish and showed up in sweeps).
-  /// The advance sequence is unchanged, so the tabulated doubles are
-  /// bit-identical to the replayed ones.
-  struct SurvivalTable {
-    std::vector<double> table;  ///< table[k] = P(not DOWN within k slots)
-    markov::UrRow row;          ///< e_U^T M^k for k = table.size() - 1
-  };
-  mutable std::vector<SurvivalTable> survival_;  // P_ND tables, lazily grown
+  /// The store every series quantity resolves through (shared across the
+  /// session, or private to this view when sharing is ablated).
+  std::shared_ptr<markov::ChainStatsStore> store_;
+  std::vector<markov::ChainId> chain_of_;  // processor -> canonical chain id
+  /// Per-processor coupled statistics: quads copied from the store's
+  /// per-chain entries (computed once per DISTINCT chain, ever), with this
+  /// view's private lazily grown w-memo (CoupledStats' memo is not
+  /// thread-safe, so views never grow it on shared store instances; the
+  /// memo entries are pure functions of the quad, so per-view copies stay
+  /// bit-identical to any other view's).
+  std::vector<markov::CoupledStats> per_proc_;
+  std::vector<markov::ChainSurvival*> surv_of_;  // processor -> shared table
+
   mutable SetCache set_cache_;
-  mutable std::vector<markov::UrMatrix> scratch_;  // reused per set_stats call
+  mutable std::vector<markov::ChainId> scratch_ids_;  // reused per set_stats miss
   mutable BuildMemo build_memo_;
+  mutable std::size_t set_cap_;    // eviction caps (lowered only by tests)
+  mutable std::size_t build_cap_;
 };
 
 }  // namespace tcgrid::sched
