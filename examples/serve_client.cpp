@@ -1,0 +1,174 @@
+// serve_client — command-line client for the tcgrid_serve daemon.
+//
+// Speaks the newline-delimited-JSON serve protocol (DESIGN.md §11) over the
+// daemon's unix socket. Result rows stream to stdout as JSONL, one line per
+// (scenario, trial, heuristic); everything else (acks, status) also prints
+// as the raw protocol line so output is scriptable.
+//
+//   serve_client submit   --socket S --tenant T (--spec FILE | --reduced M [--cap N])
+//                         [--job ID] [--follow]
+//   serve_client status   --socket S --job ID
+//   serve_client results  --socket S --job ID [--from N] [--wait]
+//   serve_client cancel   --socket S --job ID
+//   serve_client counters --socket S
+//
+// `submit --follow` submits, then streams rows until the job is terminal —
+// the one-command equivalent of run_experiment against a warm daemon.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "api/api.hpp"
+#include "api/spec_json.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+namespace json = tcgrid::util::json;
+using tcgrid::util::LineChannel;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: serve_client <submit|status|results|cancel|counters> --socket PATH ...\n"
+      "  submit   --tenant T (--spec FILE | --reduced M [--cap N]) [--job ID] [--follow]\n"
+      "  status   --job ID\n"
+      "  results  --job ID [--from N] [--wait]\n"
+      "  cancel   --job ID\n");
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw std::runtime_error("cannot read " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+/// One request, one response line. Throws on transport failure.
+std::string roundtrip(LineChannel& ch, const std::string& request) {
+  if (!ch.write_line(request)) throw std::runtime_error("server closed the connection");
+  std::string response;
+  if (!ch.read_line(response)) throw std::runtime_error("server closed the connection");
+  return response;
+}
+
+/// Print protocol lines until the "end" record; returns the end line.
+/// Row lines go to stdout verbatim (they ARE the output format).
+std::string stream_rows(LineChannel& ch) {
+  std::string line;
+  while (ch.read_line(line)) {
+    const json::Value v = json::parse(line);
+    if (const json::Value* type = v.find("type");
+        type != nullptr && type->is_string() && type->as_string() == "end") {
+      return line;
+    }
+    if (const json::Value* ok = v.find("ok"); ok != nullptr && ok->is_bool() &&
+                                              !ok->as_bool()) {
+      throw std::runtime_error("server error: " + line);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  throw std::runtime_error("server closed the connection mid-stream");
+}
+
+/// Fails loudly on {"ok":false,...} responses so scripts see exit 1.
+void check_ok(const std::string& response) {
+  const json::Value v = json::parse(response);
+  const json::Value* ok = v.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    throw std::runtime_error("server error: " + response);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+
+  std::string socket_path, tenant, spec_file, job;
+  int reduced_m = 0;
+  long cap = 200'000;
+  std::size_t from = 0;
+  bool follow = false, wait = false;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage();
+        return argv[++i];
+      };
+      if (arg == "--socket") socket_path = next();
+      else if (arg == "--tenant") tenant = next();
+      else if (arg == "--spec") spec_file = next();
+      else if (arg == "--reduced") reduced_m = std::stoi(next());
+      else if (arg == "--cap") cap = std::stol(next());
+      else if (arg == "--job") job = next();
+      else if (arg == "--from") from = std::stoul(next());
+      else if (arg == "--follow") follow = true;
+      else if (arg == "--wait") wait = true;
+      else usage();
+    }
+    if (socket_path.empty()) usage();
+
+    tcgrid::util::Fd fd = tcgrid::util::connect_unix(socket_path);
+    LineChannel ch(fd.get());
+
+    if (command == "submit") {
+      if (tenant.empty() || (spec_file.empty() && reduced_m == 0)) usage();
+      json::Value spec_value;
+      if (!spec_file.empty()) {
+        spec_value = json::parse(read_file(spec_file));
+      } else {
+        spec_value = tcgrid::api::spec_to_json(
+            tcgrid::api::ExperimentSpec::reduced(reduced_m, cap));
+      }
+      const std::string response =
+          roundtrip(ch, tcgrid::serve::submit_request(tenant, spec_value, job));
+      check_ok(response);
+      std::fprintf(stderr, "%s\n", response.c_str());
+      if (follow) {
+        const json::Value ack = json::parse(response);
+        const std::string job_id = ack.find("job")->as_string();
+        if (!ch.write_line(tcgrid::serve::results_request(job_id, 0, /*wait=*/true))) {
+          throw std::runtime_error("server closed the connection");
+        }
+        std::fprintf(stderr, "%s\n", stream_rows(ch).c_str());
+      }
+    } else if (command == "status") {
+      if (job.empty()) usage();
+      const std::string response = roundtrip(ch, tcgrid::serve::status_request(job));
+      check_ok(response);
+      std::printf("%s\n", response.c_str());
+    } else if (command == "results") {
+      if (job.empty()) usage();
+      if (!ch.write_line(tcgrid::serve::results_request(job, from, wait))) {
+        throw std::runtime_error("server closed the connection");
+      }
+      std::fprintf(stderr, "%s\n", stream_rows(ch).c_str());
+    } else if (command == "cancel") {
+      if (job.empty()) usage();
+      const std::string response = roundtrip(ch, tcgrid::serve::cancel_request(job));
+      check_ok(response);
+      std::printf("%s\n", response.c_str());
+    } else if (command == "counters") {
+      const std::string response = roundtrip(ch, tcgrid::serve::counters_request());
+      check_ok(response);
+      std::printf("%s\n", response.c_str());
+    } else {
+      usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_client: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

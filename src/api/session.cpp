@@ -181,9 +181,57 @@ sim::SimulationResult Session::run_custom(const Options& options,
   return result;
 }
 
+std::vector<sim::SimulationResult> Session::run_unit(
+    const Options& options, const scen::AvailabilityFamily& availability,
+    const std::shared_ptr<const scen::PlatformFamily>& platform_family,
+    const platform::ScenarioParams& params,
+    const std::vector<std::string>& heuristics, int trial) {
+  // The scenario and estimator come from the calling thread's private
+  // cache: every heuristic of the unit (and any further unit of the same
+  // scenario this thread picks up) reuses one warm, non-thread-safe
+  // estimator without locking. clear_caches() releases the entries.
+  ScenarioEntry& entry = entry_for(platform_family, params);
+
+  std::optional<platform::Realization> realization;
+  if (options.realization_budget > 0) {
+    realization.emplace(
+        availability.make_source(entry.scenario.platform,
+                                 expt::trial_seed(entry.scenario, trial),
+                                 options.init),
+        options.realization_budget);
+  }
+  std::vector<sim::SimulationResult> results(heuristics.size());
+  for (std::size_t h = 0; h < heuristics.size(); ++h) {
+    if (realization.has_value()) {
+      // Last consumer: whatever this run needs beyond the already
+      // materialized prefix will never be replayed, so stop recording —
+      // the engine continues live on the realization's own source past the
+      // frontier (bit-identical stream continuation). With a single
+      // heuristic this degrades sharing to plain live generation, which is
+      // exactly right.
+      if (h + 1 == heuristics.size()) realization->freeze();
+      try {
+        results[h] = run_replayed(options, *realization, entry.scenario,
+                                  entry.estimator, heuristics[h], trial);
+        continue;
+      } catch (const platform::RealizationBudgetExceeded&) {
+        // This trial's timeline outgrew the budget: drop the artifact and
+        // fall back to live generation for the whole unit (including
+        // re-running the interrupted heuristic — results are pure
+        // functions of the seeds, so nothing is lost).
+        realization.reset();
+      }
+    }
+    results[h] = run_one(options, availability, entry.scenario, entry.estimator,
+                         heuristics[h], trial, nullptr);
+  }
+  return results;
+}
+
 Session::RunStats Session::run(const ExperimentSpec& spec,
                                const std::vector<ResultSink*>& sinks,
-                               const Progress& progress) {
+                               const Progress& progress,
+                               const std::atomic<bool>* stop) {
   spec.validate();
 
   const std::vector<platform::ScenarioParams> scenarios = spec.scenarios();
@@ -217,47 +265,15 @@ Session::RunStats Session::run(const ExperimentSpec& spec,
   util::parallel_for(
       units,
       [&](std::size_t u) {
+        // Cooperative cancellation at the unit boundary: a raised stop flag
+        // skips every not-yet-started unit (in-flight ones finish and still
+        // stream — sinks never see a torn unit).
+        if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
         const std::size_t sc = u / trials;
         const int trial = static_cast<int>(u % trials);
-        // The scenario and estimator come from this worker's private cache:
-        // every heuristic of the unit (and any further unit of the same
-        // scenario this thread picks up) reuses one warm, non-thread-safe
-        // estimator without locking. clear_caches() releases the entries.
-        ScenarioEntry& entry = entry_for(plat_family, scenarios[sc]);
-
-        std::optional<platform::Realization> realization;
-        if (options.realization_budget > 0) {
-          realization.emplace(
-              avail_family->make_source(entry.scenario.platform,
-                                        expt::trial_seed(entry.scenario, trial),
-                                        options.init),
-              options.realization_budget);
-        }
-        std::vector<sim::SimulationResult> results(heuristics.size());
-        for (std::size_t h = 0; h < heuristics.size(); ++h) {
-          if (realization.has_value()) {
-            // Last consumer: whatever this run needs beyond the already
-            // materialized prefix will never be replayed, so stop recording
-            // — the engine continues live on the realization's own source
-            // past the frontier (bit-identical stream continuation). With a
-            // single heuristic this degrades sharing to plain live
-            // generation, which is exactly right.
-            if (h + 1 == heuristics.size()) realization->freeze();
-            try {
-              results[h] = run_replayed(options, *realization, entry.scenario,
-                                        entry.estimator, heuristics[h], trial);
-              continue;
-            } catch (const platform::RealizationBudgetExceeded&) {
-              // This trial's timeline outgrew the budget: drop the artifact
-              // and fall back to live generation for the whole unit
-              // (including re-running the interrupted heuristic — results
-              // are pure functions of the seeds, so nothing is lost).
-              realization.reset();
-            }
-          }
-          results[h] = run_one(options, *avail_family, entry.scenario,
-                               entry.estimator, heuristics[h], trial, nullptr);
-        }
+        const std::vector<sim::SimulationResult> results =
+            run_unit(options, *avail_family, plat_family, scenarios[sc], heuristics,
+                     trial);
         {
           // One lock hold per unit: the unit's rows reach sinks
           // contiguously, in heuristic order (the documented row-ordering
@@ -283,7 +299,13 @@ Session::RunStats Session::run(const ExperimentSpec& spec,
 
   for (ResultSink* sink : sinks) sink->finish();
 
-  return RunStats{scenarios.size(), rows.load()};
+  RunStats stats;
+  stats.scenarios = scenarios.size();
+  stats.rows = rows.load();
+  stats.units_total = units;
+  stats.units_done = done;
+  stats.cancelled = done < units;
+  return stats;
 }
 
 }  // namespace tcgrid::api

@@ -27,6 +27,7 @@
 //     (each caller thread gets its own cache).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -65,13 +66,23 @@ class Session {
   using Progress = std::function<void(std::size_t, std::size_t)>;
 
   struct RunStats {
-    std::size_t scenarios = 0;  ///< scenarios simulated
-    std::size_t rows = 0;       ///< trial outcomes streamed to sinks
+    std::size_t scenarios = 0;    ///< scenarios simulated
+    std::size_t rows = 0;         ///< trial outcomes streamed to sinks
+    std::size_t units_total = 0;  ///< (scenario, trial) units in the spec
+    std::size_t units_done = 0;   ///< units whose rows reached the sinks
+    bool cancelled = false;       ///< the stop flag cut the sweep short
   };
 
   /// Run the spec, streaming every completed (heuristic, scenario, trial)
   /// outcome to each sink. Validates the spec up front (throws
   /// std::invalid_argument before any simulation starts).
+  ///
+  /// Cooperative cancellation: when `stop` is non-null, every worker checks
+  /// it at (scenario, trial) unit boundaries — a unit already simulating
+  /// finishes and its rows still reach the sinks (sinks never see a torn
+  /// unit), pending units are skipped. run() then returns early with
+  /// `cancelled = true` and the partial counts; the sinks' finish() is
+  /// still invoked, so streamed files are flushed and well-formed.
   ///
   /// Execution is TRIAL-MAJOR (DESIGN.md §9): the scheduling unit is one
   /// (scenario, trial). The unit's availability realization is materialized
@@ -96,7 +107,26 @@ class Session {
   /// populations into cells and clear_caches() between them to bound peak
   /// memory (the cells of a grid are the natural split).
   RunStats run(const ExperimentSpec& spec, const std::vector<ResultSink*>& sinks,
-               const Progress& progress = nullptr);
+               const Progress& progress = nullptr,
+               const std::atomic<bool>* stop = nullptr);
+
+  /// One (scenario, trial) unit — the sweep's scheduling grain — run
+  /// standalone: every heuristic in `heuristics` replayed against the
+  /// unit's shared materialized realization (budget permitting, with the
+  /// same live fallback as run()), returning the results in heuristic
+  /// order. This is run()'s per-unit body made public: the serve daemon
+  /// schedules units from many concurrent jobs across one fleet and calls
+  /// this from its workers. Families arrive pre-resolved (resolve once per
+  /// job/sweep; workers stay off the registry mutex). Safe to call
+  /// concurrently from many threads — the scenario/estimator cache is per
+  /// calling thread, exactly as in run(). `options` supplies the engine
+  /// and realization knobs; the estimator eps remains session-level (the
+  /// chain store is built once per session with options().eps).
+  [[nodiscard]] std::vector<sim::SimulationResult> run_unit(
+      const Options& options, const scen::AvailabilityFamily& availability,
+      const std::shared_ptr<const scen::PlatformFamily>& platform_family,
+      const platform::ScenarioParams& params,
+      const std::vector<std::string>& heuristics, int trial);
 
   /// One paired trial: the availability realization is a pure function of
   /// (scenario space, scenario seed, trial), so every heuristic run with the

@@ -1,0 +1,42 @@
+// Full JSON round-trip for ExperimentSpec (DESIGN.md §11).
+//
+// The serve daemon accepts experiment specs over the wire, and checkpoints
+// them in job manifests; both need every field of the spec — the grid, the
+// scenario space (families by registry name), explicit scenarios, heuristic
+// names, trials and the complete Options block — to serialize and parse
+// losslessly. spec_to_json(spec_from_json(j)) reproduces the canonical form
+// of j, and spec_from_json(spec_to_json(s)) reproduces s exactly (scenario
+// seeds are full-range uint64 and survive bit-exactly; see util/json.hpp).
+//
+// Parsing is strict: unknown keys, wrong types, out-of-range values and
+// malformed enum names all throw std::invalid_argument naming the offending
+// field by dotted path ("options.slot_cap", "explicit_scenarios[3].seed"),
+// so a remote client gets an actionable error instead of a mid-sweep death.
+// Structural validation only — registry-name existence and positivity
+// checks remain ExperimentSpec::validate(), which callers run next.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "api/spec.hpp"
+#include "util/json.hpp"
+
+namespace tcgrid::api {
+
+/// Every field of the spec, emitted in a fixed canonical order.
+[[nodiscard]] util::json::Value spec_to_json(const ExperimentSpec& spec);
+
+/// spec_to_json, serialized compactly (deterministic bytes).
+[[nodiscard]] std::string spec_to_json_string(const ExperimentSpec& spec);
+
+/// Parse a spec. Absent fields keep their defaults (so "{}" is the default
+/// spec); unknown or ill-typed fields throw std::invalid_argument naming
+/// the field.
+[[nodiscard]] ExperimentSpec spec_from_json(const util::json::Value& value);
+
+/// Parse from text (throws std::invalid_argument on JSON syntax errors with
+/// the byte offset, or on field errors with the field path).
+[[nodiscard]] ExperimentSpec spec_from_json_string(std::string_view text);
+
+}  // namespace tcgrid::api

@@ -1,0 +1,85 @@
+#include "serve/protocol.hpp"
+
+namespace tcgrid::serve {
+
+namespace json = util::json;
+
+bool valid_identifier(std::string_view s) {
+  if (s.empty() || s.size() > 64 || s.front() == '.') return false;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string row_line(std::size_t scenario, int trial, std::size_t heuristic_index,
+                     const std::string& heuristic, const std::string& family,
+                     const platform::ScenarioParams& params,
+                     const sim::SimulationResult& r) {
+  // Hand-rolled append (no Value tree): rows are the hot emission path and
+  // their byte layout is a documented contract — keep it explicit.
+  std::string out;
+  out.reserve(192);
+  out += "{\"scenario\":";
+  out += std::to_string(scenario);
+  out += ",\"trial\":";
+  out += std::to_string(trial);
+  out += ",\"h\":";
+  out += std::to_string(heuristic_index);
+  out += ",\"heuristic\":";
+  json::append_quoted(heuristic, out);
+  out += ",\"family\":";
+  json::append_quoted(family, out);
+  out += ",\"m\":";
+  out += std::to_string(params.m);
+  out += ",\"ncom\":";
+  out += std::to_string(params.ncom);
+  out += ",\"wmin\":";
+  out += std::to_string(params.wmin);
+  out += ",\"scenario_seed\":";
+  out += std::to_string(params.seed);
+  out += ",\"success\":";
+  out += r.success ? "true" : "false";
+  out += ",\"makespan\":";
+  out += std::to_string(r.makespan);
+  out += ",\"iterations\":";
+  out += std::to_string(r.iterations_completed);
+  out += ",\"restarts\":";
+  out += std::to_string(r.total_restarts);
+  out += ",\"reconfigs\":";
+  out += std::to_string(r.total_reconfigurations);
+  out += ",\"idle_slots\":";
+  out += std::to_string(r.idle_slots);
+  out += "}";
+  return out;
+}
+
+std::string submit_request(std::string_view tenant, const json::Value& spec,
+                           std::string_view job) {
+  json::Object req{{"op", "submit"}, {"tenant", tenant}, {"spec", spec}};
+  if (!job.empty()) req.emplace_back("job", job);
+  return json::dump(json::Value(std::move(req)));
+}
+
+std::string status_request(std::string_view job) {
+  return json::dump(json::Value(json::Object{{"op", "status"}, {"job", job}}));
+}
+
+std::string results_request(std::string_view job, std::size_t from, bool wait) {
+  return json::dump(json::Value(json::Object{{"op", "results"},
+                                             {"job", job},
+                                             {"from", static_cast<unsigned long long>(from)},
+                                             {"wait", wait}}));
+}
+
+std::string cancel_request(std::string_view job) {
+  return json::dump(json::Value(json::Object{{"op", "cancel"}, {"job", job}}));
+}
+
+std::string counters_request() {
+  return json::dump(json::Value(json::Object{{"op", "counters"}}));
+}
+
+}  // namespace tcgrid::serve

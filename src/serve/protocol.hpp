@@ -1,0 +1,60 @@
+// Wire protocol of the serve daemon (DESIGN.md §11).
+//
+// Newline-delimited JSON over a local stream socket. Each request is one
+// JSON object with an "op" field; responses are one JSON object per line,
+// except `results`, which streams raw result-row lines followed by one
+// terminal {"type":"end",...} object. Every non-row response carries
+// "ok":true|false; errors carry "error" with a field-path-naming message.
+//
+// Ops:
+//   {"op":"submit","tenant":T,"spec":{...},"job":J?}     -> submitted
+//   {"op":"status","job":J}                              -> status
+//   {"op":"results","job":J,"from":N?,"wait":B?}         -> rows..., end
+//   {"op":"cancel","job":J}                              -> status
+//   {"op":"counters"}                                    -> counters
+//
+// This header holds what both sides share: the identifier grammar, the
+// client-side request builders (used by the client CLI and the protocol
+// tests) and the deterministic result-row serialization. Row bytes are a
+// pure function of the row's coordinates and outcome — never of job id,
+// tenant, scheduling order or daemon lifetime — which is what makes the
+// checkpoint/resume guarantee testable: sort the union of streamed rows and
+// it is byte-identical to an uninterrupted run's.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "platform/scenario.hpp"
+#include "sim/stats.hpp"
+#include "util/json.hpp"
+
+namespace tcgrid::serve {
+
+/// Tenants and job ids become directory names and wire keys:
+/// [A-Za-z0-9._-], 1..64 chars, no leading '.' (no dot-file/traversal
+/// surprises on the checkpoint root).
+[[nodiscard]] bool valid_identifier(std::string_view s);
+
+/// One completed (scenario, trial, heuristic) outcome as a JSONL line
+/// (no trailing newline). Fixed key order; deterministic bytes.
+[[nodiscard]] std::string row_line(std::size_t scenario, int trial,
+                                   std::size_t heuristic_index,
+                                   const std::string& heuristic,
+                                   const std::string& family,
+                                   const platform::ScenarioParams& params,
+                                   const sim::SimulationResult& result);
+
+// --------------------------------------------------- client-side builders ----
+
+[[nodiscard]] std::string submit_request(std::string_view tenant,
+                                         const util::json::Value& spec,
+                                         std::string_view job = {});
+[[nodiscard]] std::string status_request(std::string_view job);
+[[nodiscard]] std::string results_request(std::string_view job, std::size_t from,
+                                          bool wait);
+[[nodiscard]] std::string cancel_request(std::string_view job);
+[[nodiscard]] std::string counters_request();
+
+}  // namespace tcgrid::serve

@@ -1,0 +1,727 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "api/spec_json.hpp"
+#include "scen/registry.hpp"
+#include "serve/protocol.hpp"
+
+namespace tcgrid::serve {
+
+namespace json = util::json;
+
+namespace {
+
+constexpr std::size_t kResultsBatch = 512;  ///< rows written per lock hold
+
+json::Value error_value(std::string_view message) {
+  return json::Object{{"ok", false}, {"error", message}};
+}
+
+std::string error_line(std::string_view message) {
+  return json::dump(error_value(message));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- state types ----
+
+struct Server::Job {
+  std::string id;
+  std::string tenant;
+  api::ExperimentSpec spec;
+  api::Options options;  ///< spec.options with the tenant's quota clamps
+  std::vector<platform::ScenarioParams> scenarios;
+  std::vector<std::string> heuristics;
+  std::shared_ptr<const scen::AvailabilityFamily> avail_family;
+  std::shared_ptr<const scen::PlatformFamily> plat_family;
+  std::size_t trials = 0;
+  std::size_t units_total = 0;
+
+  enum class State { Queued, Running, Done, Cancelled, Failed };
+  State state = State::Queued;
+  bool cancel_requested = false;
+  std::string error;
+
+  enum : std::uint8_t { kPending = 0, kInFlight = 1, kDone = 2 };
+  std::vector<std::uint8_t> unit_state;
+  std::size_t units_done = 0;
+  std::size_t inflight = 0;
+  std::size_t next_scan = 0;  ///< first possibly-pending unit (scan hint)
+
+  std::vector<std::string> rows;  ///< committed rows, completion order
+
+  std::unique_ptr<JobCheckpoint> ckpt;
+  std::mutex io_mutex;  ///< serializes checkpoint commits for this job
+
+  [[nodiscard]] bool terminal() const {
+    return state == State::Done || state == State::Cancelled || state == State::Failed;
+  }
+  [[nodiscard]] const char* state_name() const {
+    switch (state) {
+      case State::Queued: return "queued";
+      case State::Running: return "running";
+      case State::Done: return "done";
+      case State::Cancelled: return "cancelled";
+      case State::Failed: return "failed";
+    }
+    return "?";
+  }
+};
+
+struct Server::Tenant {
+  std::string name;
+  TenantQuota quota;
+  std::unique_ptr<api::Session> session;
+  std::size_t inflight = 0;
+  bool draining = false;   ///< over chain-store quota; evict once drained
+  std::size_t evictions = 0;
+  std::size_t jobs = 0;
+  std::size_t units_done = 0;
+  std::size_t rows = 0;
+};
+
+// ------------------------------------------------------------ construction ----
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.root.empty()) {
+    throw std::invalid_argument("serve::Server: options.root (checkpoint directory) is required");
+  }
+  load_existing_jobs();
+  std::size_t n = options_.threads;
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { hard_stop(); }
+
+Server::Tenant& Server::tenant_for(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    auto tenant = std::make_unique<Tenant>();
+    tenant->name = name;
+    const auto q = options_.tenant_quotas.find(name);
+    tenant->quota = q != options_.tenant_quotas.end() ? q->second : options_.default_quota;
+    api::Options session_options;
+    session_options.eps = options_.eps;
+    tenant->session = std::make_unique<api::Session>(session_options);
+    it = tenants_.emplace(name, std::move(tenant)).first;
+  }
+  return *it->second;
+}
+
+void Server::load_existing_jobs() {
+  for (const std::string& job_id : JobCheckpoint::list_jobs(options_.root)) {
+    // Keep the id counter ahead of every recovered "job-N" name.
+    if (job_id.rfind("job-", 0) == 0) {
+      const unsigned long n = std::strtoul(job_id.c_str() + 4, nullptr, 10);
+      next_job_number_ = std::max(next_job_number_, static_cast<std::size_t>(n) + 1);
+    }
+    try {
+      auto ckpt = std::make_unique<JobCheckpoint>(options_.root, job_id);
+      const json::Value manifest = json::parse(ckpt->read_manifest());
+      const json::Value* tenant = manifest.find("tenant");
+      const json::Value* spec_value = manifest.find("spec");
+      if (tenant == nullptr || !tenant->is_string() || spec_value == nullptr) {
+        throw std::invalid_argument("manifest missing tenant/spec");
+      }
+      api::ExperimentSpec spec = api::spec_from_json(*spec_value);
+      register_job(job_id, tenant->as_string(), std::move(spec), std::move(ckpt),
+                   /*fresh=*/false);
+    } catch (const std::exception& e) {
+      // A corrupt manifest must not take the daemon down — leave the
+      // directory untouched for inspection and keep serving everyone else.
+      std::fprintf(stderr, "tcgrid_serve: skipping unloadable job '%s': %s\n",
+                   job_id.c_str(), e.what());
+    }
+  }
+}
+
+std::string Server::register_job(const std::string& job_id, const std::string& tenant_name,
+                                 api::ExperimentSpec spec,
+                                 std::unique_ptr<JobCheckpoint> ckpt, bool fresh) {
+  auto job = std::make_shared<Job>();
+  job->id = job_id;
+  job->tenant = tenant_name;
+  job->scenarios = spec.scenarios();
+  job->heuristics = spec.resolved_heuristics();
+  job->avail_family = scen::availability_family(spec.scenario_space.availability);
+  job->plat_family = scen::platform_family(spec.scenario_space.platform);
+  job->trials = static_cast<std::size_t>(spec.trials);
+  job->units_total = job->scenarios.size() * job->trials;
+  job->unit_state.assign(job->units_total, Job::kPending);
+  job->options = spec.options;
+  job->spec = std::move(spec);
+  job->ckpt = std::move(ckpt);
+
+  const bool cancelled = !fresh && job->ckpt->is_cancelled();
+  if (!fresh) {
+    const JobCheckpoint::LoadedRows loaded = job->ckpt->load_rows(job->trials);
+    for (std::size_t unit : loaded.completed_units) {
+      if (unit < job->units_total && job->unit_state[unit] != Job::kDone) {
+        job->unit_state[unit] = Job::kDone;
+        ++job->units_done;
+      }
+    }
+    job->rows = loaded.rows;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& tenant = tenant_for(tenant_name);
+  tenant.jobs += 1;
+  tenant.units_done += job->units_done;
+  tenant.rows += job->rows.size();
+  // Quota clamp: the spec's realization budget never exceeds the tenant's.
+  job->options.realization_budget =
+      std::min(job->options.realization_budget, tenant.quota.realization_budget);
+  if (job->units_done == job->units_total) job->state = Job::State::Done;
+  else if (cancelled) job->state = Job::State::Cancelled;
+  else job->state = job->units_done > 0 ? Job::State::Running : Job::State::Queued;
+  reserved_ids_.erase(job->id);
+  jobs_.emplace(job->id, job);
+  job_order_.push_back(job->id);
+  work_cv_.notify_all();
+  rows_cv_.notify_all();
+  return job->id;
+}
+
+// ------------------------------------------------------------ worker fleet ----
+
+std::shared_ptr<Server::Job> Server::claim_unit(std::size_t& unit_out) {
+  // Round-robin over jobs in submission order: each call resumes after the
+  // job served last, so many concurrent jobs (and tenants) interleave
+  // fairly instead of the first job monopolizing the fleet.
+  const std::size_t n = job_order_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = (rr_cursor_ + step) % n;
+    const std::shared_ptr<Job>& job = jobs_[job_order_[idx]];
+    if (job->terminal() || job->cancel_requested) continue;
+    Tenant& tenant = *tenants_[job->tenant];
+    if (tenant.draining) {
+      // Over chain-store quota: evict as soon as the last in-flight unit of
+      // this tenant drains, then resume dispatch. clear_caches() is safe
+      // here precisely because nothing of this tenant is running.
+      if (tenant.inflight > 0) continue;
+      tenant.session->clear_caches();
+      tenant.draining = false;
+      tenant.evictions += 1;
+    }
+    while (job->next_scan < job->units_total &&
+           job->unit_state[job->next_scan] != Job::kPending) {
+      ++job->next_scan;
+    }
+    if (job->next_scan >= job->units_total) continue;
+    unit_out = job->next_scan;
+    job->unit_state[unit_out] = Job::kInFlight;
+    job->inflight += 1;
+    tenant.inflight += 1;
+    if (job->state == Job::State::Queued) job->state = Job::State::Running;
+    rr_cursor_ = (idx + 1) % n;
+    return job;
+  }
+  return nullptr;
+}
+
+void Server::finalize_if_drained(Job& job) {
+  // Caller holds mu_. Cancellation completes only once in-flight units
+  // finished (their rows still commit — a cancelled job's checkpoint stays
+  // consistent).
+  if (job.cancel_requested && job.inflight == 0 && !job.terminal()) {
+    job.state = Job::State::Cancelled;
+    rows_cv_.notify_all();
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    std::size_t unit = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        if (stopping_) return true;
+        job = claim_unit(unit);
+        return job != nullptr;
+      });
+      if (stopping_) return;
+    }
+
+    const std::size_t sc = unit / job->trials;
+    const int trial = static_cast<int>(unit % job->trials);
+    Tenant& tenant = [&]() -> Tenant& {
+      std::lock_guard<std::mutex> lock(mu_);
+      return *tenants_[job->tenant];
+    }();
+
+    std::vector<std::string> unit_rows;
+    bool failed = false;
+    std::string error;
+    try {
+      const std::vector<sim::SimulationResult> results = tenant.session->run_unit(
+          job->options, *job->avail_family, job->plat_family, job->scenarios[sc],
+          job->heuristics, trial);
+      unit_rows.reserve(results.size());
+      for (std::size_t h = 0; h < results.size(); ++h) {
+        unit_rows.push_back(row_line(sc, trial, h, job->heuristics[h],
+                                     job->spec.scenario_space.availability,
+                                     job->scenarios[sc], results[h]));
+      }
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    }
+
+    if (!failed) {
+      // Abandon instead of committing once stopping: hard_stop() promises
+      // kill -9 semantics (nothing new becomes durable after it returns).
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+      }
+      std::lock_guard<std::mutex> io_lock(job->io_mutex);
+      try {
+        job->ckpt->commit_unit(unit, unit_rows);
+      } catch (const std::exception& e) {
+        failed = true;
+        error = std::string("checkpoint write failed: ") + e.what();
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->inflight -= 1;
+      tenant.inflight -= 1;
+      if (failed) {
+        if (!job->terminal()) {
+          job->state = Job::State::Failed;
+          job->error = error;
+        }
+        job->unit_state[unit] = Job::kPending;  // dropped, not committed
+        job->next_scan = std::min(job->next_scan, unit);
+      } else {
+        job->unit_state[unit] = Job::kDone;
+        job->units_done += 1;
+        for (std::string& row : unit_rows) job->rows.push_back(std::move(row));
+        tenant.units_done += 1;
+        tenant.rows += unit_rows.size();
+        if (job->units_done == job->units_total && !job->terminal()) {
+          job->state = Job::State::Done;
+        }
+        // Quota check at the only safe boundary: a completed unit. The
+        // store can overshoot by at most the in-flight units' growth.
+        if (!tenant.draining &&
+            tenant.session->chain_store_counters().bytes > tenant.quota.chain_store_bytes) {
+          tenant.draining = true;
+        }
+      }
+      finalize_if_drained(*job);
+      rows_cv_.notify_all();
+      work_cv_.notify_all();
+    }
+  }
+}
+
+// ---------------------------------------------------------------- requests ----
+
+std::string Server::handle_submit(const json::Value& req) {
+  const json::Value* tenant_v = req.find("tenant");
+  if (tenant_v == nullptr || !tenant_v->is_string() ||
+      !valid_identifier(tenant_v->as_string())) {
+    return error_line("tenant: required, [A-Za-z0-9._-]{1,64}, no leading dot");
+  }
+  const std::string tenant_name = tenant_v->as_string();
+
+  const json::Value* spec_v = req.find("spec");
+  if (spec_v == nullptr) return error_line("spec: required");
+  api::ExperimentSpec spec;
+  try {
+    spec = api::spec_from_json(*spec_v);
+    spec.validate();
+  } catch (const std::invalid_argument& e) {
+    return error_line(e.what());
+  }
+  // Session-level knobs a per-job spec cannot change (DESIGN.md §11):
+  // reject loudly rather than silently diverge from what would run.
+  if (spec.options.eps != options_.eps) {
+    return error_line("spec.options.eps: must equal the daemon's session eps (" +
+                      std::to_string(options_.eps) + ")");
+  }
+  if (!spec.options.shared_chain_stats) {
+    return error_line(
+        "spec.options.shared_chain_stats: the daemon always shares the tenant "
+        "session's chain store");
+  }
+  if (spec.options.record_trace) {
+    return error_line(
+        "spec.options.record_trace: activity traces are not streamable over the "
+        "serve protocol");
+  }
+
+  std::string job_id;
+  if (const json::Value* job_v = req.find("job"); job_v != nullptr) {
+    if (!job_v->is_string() || !valid_identifier(job_v->as_string())) {
+      return error_line("job: [A-Za-z0-9._-]{1,64}, no leading dot");
+    }
+    job_id = job_v->as_string();
+  }
+  {
+    // Reserve the id before dropping mu_ so two racing submits with the same
+    // explicit name can't both pass the existence check.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job_id.empty()) {
+      do {
+        job_id = "job-" + std::to_string(next_job_number_++);
+      } while (jobs_.count(job_id) != 0 || reserved_ids_.count(job_id) != 0);
+    } else if (jobs_.count(job_id) != 0 || reserved_ids_.count(job_id) != 0) {
+      return error_line("job: '" + job_id + "' already exists");
+    }
+    reserved_ids_.insert(job_id);
+  }
+
+  std::unique_ptr<JobCheckpoint> ckpt;
+  try {
+    ckpt = std::make_unique<JobCheckpoint>(options_.root, job_id);
+    const json::Value manifest = json::Object{
+        {"job", job_id}, {"tenant", tenant_name}, {"spec", api::spec_to_json(spec)}};
+    ckpt->write_manifest(json::dump(manifest));
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    reserved_ids_.erase(job_id);
+    return error_line(std::string("checkpoint: ") + e.what());
+  }
+
+  register_job(job_id, tenant_name, std::move(spec), std::move(ckpt), /*fresh=*/true);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const Job& job = *jobs_[job_id];
+  return json::dump(json::Object{
+      {"ok", true},
+      {"type", "submitted"},
+      {"job", job.id},
+      {"tenant", job.tenant},
+      {"units", static_cast<unsigned long long>(job.units_total)},
+      {"rows_expected",
+       static_cast<unsigned long long>(job.units_total * job.heuristics.size())},
+  });
+}
+
+std::string Server::status_line(const Job& job) const {
+  return json::dump(json::Object{
+      {"ok", true},
+      {"type", "status"},
+      {"job", job.id},
+      {"tenant", job.tenant},
+      {"state", job.state_name()},
+      {"units_total", static_cast<unsigned long long>(job.units_total)},
+      {"units_done", static_cast<unsigned long long>(job.units_done)},
+      {"rows", static_cast<unsigned long long>(job.rows.size())},
+      {"rows_expected",
+       static_cast<unsigned long long>(job.units_total * job.heuristics.size())},
+      {"error", job.error},
+  });
+}
+
+std::string Server::handle_status(const json::Value& req) {
+  const json::Value* job_v = req.find("job");
+  if (job_v == nullptr || !job_v->is_string()) return error_line("job: required");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_v->as_string());
+  if (it == jobs_.end()) return error_line("job: unknown job '" + job_v->as_string() + "'");
+  return status_line(*it->second);
+}
+
+std::string Server::handle_cancel(const json::Value& req) {
+  const json::Value* job_v = req.find("job");
+  if (job_v == nullptr || !job_v->is_string()) return error_line("job: required");
+  std::shared_ptr<Job> job;
+  bool applied = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(job_v->as_string());
+    if (it == jobs_.end()) {
+      return error_line("job: unknown job '" + job_v->as_string() + "'");
+    }
+    job = it->second;
+    if (!job->terminal() && !job->cancel_requested) {
+      job->cancel_requested = true;
+      applied = true;
+      finalize_if_drained(*job);
+      work_cv_.notify_all();
+    }
+  }
+  // Persist the cancellation outside mu_ (filesystem touch). Only when the
+  // cancel actually applied: marking an already-done job would flip its
+  // post-restart state.
+  if (applied) {
+    std::lock_guard<std::mutex> io_lock(job->io_mutex);
+    try {
+      job->ckpt->mark_cancelled();
+    } catch (const std::exception&) {
+      // Worst case an un-persisted cancel re-queues after a restart;
+      // in-memory state is already cancelled.
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_line(*job);
+}
+
+std::string Server::handle_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Object tenants;
+  for (const auto& [name, tenant] : tenants_) {
+    const auto store = tenant->session->chain_store_counters();
+    tenants.emplace_back(
+        name,
+        json::Object{
+            {"jobs", static_cast<unsigned long long>(tenant->jobs)},
+            {"units_done", static_cast<unsigned long long>(tenant->units_done)},
+            {"rows", static_cast<unsigned long long>(tenant->rows)},
+            {"inflight", static_cast<unsigned long long>(tenant->inflight)},
+            {"draining", tenant->draining},
+            {"evictions", static_cast<unsigned long long>(tenant->evictions)},
+            {"quota",
+             json::Object{
+                 {"realization_budget",
+                  static_cast<unsigned long long>(tenant->quota.realization_budget)},
+                 {"chain_store_bytes",
+                  static_cast<unsigned long long>(tenant->quota.chain_store_bytes)},
+             }},
+            {"chain_store",
+             json::Object{
+                 {"chains", static_cast<unsigned long long>(store.chains)},
+                 {"intern_hits", static_cast<unsigned long long>(store.intern_hits)},
+                 {"set_entries", static_cast<unsigned long long>(store.set_entries)},
+                 {"set_hits", static_cast<unsigned long long>(store.set_hits)},
+                 {"set_misses", static_cast<unsigned long long>(store.set_misses)},
+                 {"survival_entries",
+                  static_cast<unsigned long long>(store.survival_entries)},
+                 {"bytes", static_cast<unsigned long long>(store.bytes)},
+             }},
+        });
+  }
+  return json::dump(json::Object{
+      {"ok", true},
+      {"type", "counters"},
+      {"threads", static_cast<unsigned long long>(workers_.size())},
+      {"jobs", static_cast<unsigned long long>(jobs_.size())},
+      {"tenants", std::move(tenants)},
+  });
+}
+
+void Server::handle_results(const json::Value& req, util::LineChannel& ch) {
+  const json::Value* job_v = req.find("job");
+  if (job_v == nullptr || !job_v->is_string()) {
+    ch.write_line(error_line("job: required"));
+    return;
+  }
+  std::size_t from = 0;
+  if (const json::Value* from_v = req.find("from"); from_v != nullptr) {
+    if (!from_v->is_integer()) {
+      ch.write_line(error_line("from: expected a non-negative integer"));
+      return;
+    }
+    from = static_cast<std::size_t>(from_v->as_uint());
+  }
+  bool wait = false;
+  if (const json::Value* wait_v = req.find("wait"); wait_v != nullptr) {
+    if (!wait_v->is_bool()) {
+      ch.write_line(error_line("wait: expected a boolean"));
+      return;
+    }
+    wait = wait_v->as_bool();
+  }
+
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(job_v->as_string());
+    if (it == jobs_.end()) {
+      ch.write_line(error_line("job: unknown job '" + job_v->as_string() + "'"));
+      return;
+    }
+    job = it->second;
+  }
+
+  std::vector<std::string> batch;
+  while (true) {
+    batch.clear();
+    std::string end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (wait) {
+        rows_cv_.wait(lock, [&] {
+          return stopping_ || from < job->rows.size() || job->terminal();
+        });
+      }
+      while (from < job->rows.size() && batch.size() < kResultsBatch) {
+        batch.push_back(job->rows[from++]);
+      }
+      if (batch.empty() && (!wait || job->terminal() || stopping_)) {
+        end = json::dump(json::Object{
+            {"ok", true},
+            {"type", "end"},
+            {"job", job->id},
+            {"state", job->state_name()},
+            {"rows", static_cast<unsigned long long>(job->rows.size())},
+        });
+      }
+    }
+    // Socket writes stay outside the lock: a slow reader must not stall
+    // the fleet or other connections.
+    for (const std::string& row : batch) {
+      if (!ch.write_line(row)) return;
+    }
+    if (!end.empty()) {
+      ch.write_line(end);
+      return;
+    }
+  }
+}
+
+void Server::serve_connection(int fd) {
+  util::LineChannel ch(fd);
+  std::string line;
+  while (ch.read_line(line)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    json::Value req;
+    try {
+      req = json::parse(line);
+      if (!req.is_object()) throw std::invalid_argument("request must be a JSON object");
+    } catch (const std::invalid_argument& e) {
+      if (!ch.write_line(error_line(e.what()))) return;
+      continue;
+    }
+    const json::Value* op = req.find("op");
+    if (op == nullptr || !op->is_string()) {
+      if (!ch.write_line(error_line("op: required"))) return;
+      continue;
+    }
+    const std::string& name = op->as_string();
+    if (name == "results") {
+      handle_results(req, ch);
+      continue;
+    }
+    std::string response;
+    if (name == "submit") response = handle_submit(req);
+    else if (name == "status") response = handle_status(req);
+    else if (name == "cancel") response = handle_cancel(req);
+    else if (name == "counters") response = handle_counters();
+    else response = error_line("op: unknown op '" + name + "'");
+    if (!ch.write_line(response)) return;
+  }
+}
+
+void Server::serve(int listen_fd) {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) break;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0) continue;  // timeout (re-check stop) or EINTR
+    util::Fd conn = util::accept_connection(listen_fd);
+    if (!conn.valid()) continue;
+    const int raw = conn.release();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.insert(raw);
+      ++active_conns_;
+    }
+    // Detached: finished handlers reap themselves (an ever-growing join
+    // list would leak thread handles over a daemon's life). The final
+    // decrement + notify under conn_mu_ is the handler's last touch of the
+    // server, so hard_stop()'s drain-wait is a safe teardown barrier.
+    std::thread([this, raw] {
+      serve_connection(raw);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.erase(raw);
+      ::close(raw);
+      --active_conns_;
+      conn_cv_.notify_all();
+    }).detach();
+  }
+}
+
+void Server::hard_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped by an explicit call; the destructor re-enters here.
+      return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  rows_cv_.notify_all();
+  {
+    // Unblock connection handlers parked in read_line / streaming writes.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : workers_) t.join();
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [&] { return active_conns_ == 0; });
+}
+
+// ----------------------------------------------------------- introspection ----
+
+std::optional<JobStatus> Server::job_status(const std::string& job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Job& job = *it->second;
+  JobStatus s;
+  s.job = job.id;
+  s.tenant = job.tenant;
+  s.state = job.state_name();
+  s.error = job.error;
+  s.units_total = job.units_total;
+  s.units_done = job.units_done;
+  s.rows = job.rows.size();
+  s.rows_expected = job.units_total * job.heuristics.size();
+  return s;
+}
+
+std::optional<JobStatus> Server::wait_job(const std::string& job_id) {
+  std::shared_ptr<Job> job;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return std::nullopt;
+    job = it->second;
+    rows_cv_.wait(lock, [&] { return stopping_ || job->terminal(); });
+    if (!job->terminal()) return std::nullopt;
+  }
+  return job_status(job_id);
+}
+
+void Server::wait_units(const std::string& job_id, std::size_t at_least) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  const std::shared_ptr<Job> job = it->second;
+  rows_cv_.wait(lock, [&] {
+    return stopping_ || job->terminal() || job->units_done >= at_least;
+  });
+}
+
+std::size_t Server::tenant_evictions(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second->evictions;
+}
+
+}  // namespace tcgrid::serve

@@ -1,0 +1,171 @@
+// tcgrid::serve — persistent multi-tenant sweep-as-a-service (DESIGN.md §11).
+//
+// A Server is the long-lived core of the tcgrid_serve daemon: it accepts
+// experiment specs over the newline-delimited-JSON protocol
+// (serve/protocol.hpp), schedules (scenario, trial) units from many
+// concurrent jobs fairly (round-robin across jobs) over one process-level
+// worker fleet, streams completed result rows back incrementally, enforces
+// per-tenant quotas, and checkpoints every completed unit so a killed
+// daemon resumes where it stopped (serve/checkpoint.hpp).
+//
+// Tenancy. Each tenant owns one persistent api::Session — the process-level
+// retention that makes repeated submissions cheap (warm per-thread
+// estimator caches, one chain-statistics store whose interned chains recur
+// across requests; see DESIGN.md §10 on why that win is structurally
+// cross-request). Two quotas apply per tenant:
+//
+//   * realization_budget — a hard cap clamping every submitted spec's
+//     Options::realization_budget (the per-unit materialization bytes);
+//   * chain_store_bytes  — a retention bound on the tenant session's
+//     chain-statistics store. When a completed unit pushes the store past
+//     the bound the tenant enters DRAINING: no new units of its jobs are
+//     dispatched until its in-flight units finish, then the session's
+//     caches are evicted (Session::clear_caches — safe exactly because
+//     nothing of that tenant is running) and dispatch resumes. Jobs always
+//     run to completion; the quota trades warmth, not correctness.
+//
+// Concurrency. One mutex guards all queue/job/tenant state; workers hold it
+// only to claim and publish units, never while simulating. Checkpoint
+// appends are serialized per job by a separate per-job mutex. Connection
+// handlers (one thread per accepted socket) touch state under the same
+// mutex and block streaming `results` readers on a condition variable fed
+// by row publication.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "serve/checkpoint.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace tcgrid::serve {
+
+struct TenantQuota {
+  /// Hard cap on a submitted spec's Options::realization_budget (bytes of
+  /// materialized availability per (scenario, trial) unit). 0 forces live
+  /// generation for every unit of the tenant.
+  std::size_t realization_budget = 64ull << 20;
+  /// Retention bound on the tenant session's chain-statistics store; see
+  /// the DRAINING protocol above.
+  std::size_t chain_store_bytes = 512ull << 20;
+};
+
+struct ServerOptions {
+  std::string root;            ///< checkpoint root directory (required)
+  std::size_t threads = 0;     ///< worker fleet size (0 = hardware)
+  TenantQuota default_quota;   ///< applied to tenants without an override
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Estimator truncation precision of every tenant session. Session-level
+  /// by construction (the chain store is built once per session with it),
+  /// so submitted specs must carry the same value — see DESIGN.md §11.
+  double eps = 1e-6;
+};
+
+struct JobStatus {
+  std::string job;
+  std::string tenant;
+  std::string state;  ///< queued | running | done | cancelled | failed
+  std::string error;  ///< non-empty when state == failed
+  std::size_t units_total = 0;
+  std::size_t units_done = 0;
+  std::size_t rows = 0;
+  std::size_t rows_expected = 0;
+};
+
+class Server {
+ public:
+  /// Loads every checkpointed job under options.root (re-queueing the
+  /// incomplete ones) and starts the worker fleet.
+  explicit Server(ServerOptions options);
+  /// hard_stop()s.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handle one client connection until the peer closes (or the server
+  /// stops). Any stream socket works: the daemon passes accepted
+  /// unix-socket fds, the protocol tests one end of a socketpair. Does not
+  /// own `fd`.
+  void serve_connection(int fd);
+
+  /// Accept loop on a listening socket: one detached-lifetime handler
+  /// thread per connection, until stop. Blocks; returns after hard_stop().
+  void serve(int listen_fd);
+
+  /// Stop dispatching, abandon everything not yet durably committed (the
+  /// in-process equivalent of kill -9 at a unit boundary — the resume
+  /// tests drive it), unblock every reader and join all threads.
+  /// Idempotent.
+  void hard_stop();
+
+  // ------------------------------------------------ introspection (tests) ----
+  [[nodiscard]] std::optional<JobStatus> job_status(const std::string& job);
+  /// Block until the job is terminal (done/cancelled/failed); returns its
+  /// final status (nullopt for unknown jobs, or when the server stops
+  /// first).
+  std::optional<JobStatus> wait_job(const std::string& job);
+  /// Block until >= `at_least` units of the job committed (or terminal /
+  /// server stop). The resume tests use it to kill mid-sweep.
+  void wait_units(const std::string& job, std::size_t at_least);
+  [[nodiscard]] std::size_t tenant_evictions(const std::string& tenant);
+
+ private:
+  struct Job;
+  struct Tenant;
+
+  void load_existing_jobs();
+  void worker_loop();
+  /// nullptr when no unit is currently dispatchable.
+  std::shared_ptr<Job> claim_unit(std::size_t& unit_out);
+  void finalize_if_drained(Job& job);
+
+  // Request handlers (see protocol.hpp). Each returns the response line;
+  // handle_results streams directly on the channel.
+  std::string handle_submit(const util::json::Value& req);
+  std::string handle_status(const util::json::Value& req);
+  std::string handle_cancel(const util::json::Value& req);
+  std::string handle_counters();
+  void handle_results(const util::json::Value& req, util::LineChannel& ch);
+
+  std::string register_job(const std::string& job_id, const std::string& tenant_name,
+                           api::ExperimentSpec spec, std::unique_ptr<JobCheckpoint> ckpt,
+                           bool fresh);
+  Tenant& tenant_for(const std::string& name);  ///< caller holds mu_
+  std::string status_line(const Job& job) const;
+
+  ServerOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: new dispatchable units
+  std::condition_variable rows_cv_;  ///< readers: rows published / terminal
+  bool stopping_ = false;
+
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::vector<std::string> job_order_;  ///< submission order (fair cursor)
+  std::set<std::string> reserved_ids_;  ///< submit in progress, not yet in jobs_
+  std::size_t rr_cursor_ = 0;
+  std::size_t next_job_number_ = 1;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+
+  std::vector<std::thread> workers_;
+  /// Connection handlers run detached; hard_stop() shuts their sockets down
+  /// and waits for active_conns_ to drain (each handler's last touch of the
+  /// server is the counter decrement + notify, under conn_mu_).
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::size_t active_conns_ = 0;
+  std::set<int> conn_fds_;  ///< shut down to unblock handlers at stop
+};
+
+}  // namespace tcgrid::serve

@@ -1,0 +1,424 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tcgrid::util::json {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, Value::Kind got) {
+  static const char* names[] = {"null",   "bool",  "int",   "uint",
+                                "double", "string", "array", "object"};
+  throw std::invalid_argument(std::string("json: expected ") + want + ", value is " +
+                              names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool", kind_);
+  return bool_;
+}
+
+long long Value::as_int() const {
+  if (kind_ == Kind::Int) return int_;
+  if (kind_ == Kind::Uint) {
+    if (uint_ > static_cast<unsigned long long>(INT64_MAX)) {
+      throw std::invalid_argument("json: integer overflows int64");
+    }
+    return static_cast<long long>(uint_);
+  }
+  kind_error("integer", kind_);
+}
+
+unsigned long long Value::as_uint() const {
+  if (kind_ == Kind::Uint) return uint_;
+  if (kind_ == Kind::Int) {
+    if (int_ < 0) throw std::invalid_argument("json: negative integer where unsigned expected");
+    return static_cast<unsigned long long>(int_);
+  }
+  kind_error("unsigned integer", kind_);
+}
+
+double Value::as_double() const {
+  switch (kind_) {
+    case Kind::Int: return static_cast<double>(int_);
+    case Kind::Uint: return static_cast<double>(uint_);
+    case Kind::Double: return dbl_;
+    default: kind_error("number", kind_);
+  }
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) kind_error("string", kind_);
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::Array) kind_error("array", kind_);
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::Object) kind_error("object", kind_);
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const Member& m : as_object()) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+bool Value::operator==(const Value& other) const {
+  // Numeric kinds compare by value across Int/Uint (an in-range uint equals
+  // the same int); Double only equals Double — lexical class is meaning
+  // here (1 round-trips as an integer, 1.0 as a double).
+  if (is_integer() && other.is_integer()) {
+    const bool neg = kind_ == Kind::Int && int_ < 0;
+    const bool oneg = other.kind_ == Kind::Int && other.int_ < 0;
+    if (neg != oneg) return false;
+    if (neg) return int_ == other.int_;
+    const unsigned long long a =
+        kind_ == Kind::Uint ? uint_ : static_cast<unsigned long long>(int_);
+    const unsigned long long b = other.kind_ == Kind::Uint
+                                     ? other.uint_
+                                     : static_cast<unsigned long long>(other.int_);
+    return a == b;
+  }
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::Null: return true;
+    case Kind::Bool: return bool_ == other.bool_;
+    case Kind::Double: return dbl_ == other.dbl_;
+    case Kind::String: return str_ == other.str_;
+    case Kind::Array: return arr_ == other.arr_;
+    case Kind::Object: return obj_ == other.obj_;
+    default: return false;  // unreachable (integers handled above)
+  }
+}
+
+// ------------------------------------------------------------------ parser ----
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json parse error at offset " + std::to_string(pos_) +
+                                ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal (expected " + std::string(word) + ")");
+    }
+    pos_ += word.size();
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't': expect_word("true"); return Value(true);
+      case 'f': expect_word("false"); return Value(false);
+      case 'n': expect_word("null"); return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      for (const Member& m : obj) {
+        if (m.first == key) fail("duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return Value(std::move(obj));
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return Value(std::move(arr));
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with a low one.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("invalid number");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit expected after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit expected in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      // Exact 64-bit storage: negative through int64, non-negative through
+      // uint64 (full-range scenario seeds). Out-of-range integers fall back
+      // to double like any other JSON parser.
+      if (token[0] == '-') {
+        long long v = 0;
+        const auto [p, ec] = std::from_chars(token.begin(), token.end(), v);
+        if (ec == std::errc() && p == token.end()) return Value(v);
+      } else {
+        unsigned long long v = 0;
+        const auto [p, ec] = std::from_chars(token.begin(), token.end(), v);
+        if (ec == std::errc() && p == token.end()) return Value(v);
+      }
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(token.begin(), token.end(), d);
+    if (ec != std::errc() || p != token.end()) fail("number out of range");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+// ------------------------------------------------------------------ writer ----
+
+void append_quoted(std::string_view s, std::string& out) {
+  static const char* hex = "0123456789abcdef";
+  out.push_back('"');
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (u < 0x20) {
+      out += "\\u00";
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_to(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Value::Kind::Null: out += "null"; return;
+    case Value::Kind::Bool: out += v.as_bool() ? "true" : "false"; return;
+    case Value::Kind::Int: out += std::to_string(v.as_int()); return;
+    case Value::Kind::Uint: out += std::to_string(v.as_uint()); return;
+    case Value::Kind::Double: {
+      const double d = v.as_double();
+      if (!std::isfinite(d)) {
+        throw std::invalid_argument("json: cannot serialize non-finite double");
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+      return;
+    }
+    case Value::Kind::String: append_quoted(v.as_string(), out); return;
+    case Value::Kind::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& e : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_to(e, out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Value::Kind::Object: {
+      out.push_back('{');
+      bool first = true;
+      for (const Member& m : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_quoted(m.first, out);
+        out.push_back(':');
+        dump_to(m.second, out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_to(v, out);
+  return out;
+}
+
+}  // namespace tcgrid::util::json

@@ -1,0 +1,122 @@
+#include "util/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace tcgrid::util {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path too long (" + std::to_string(path.size()) +
+                             " bytes, max " + std::to_string(sizeof(addr.sun_path) - 1) +
+                             "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) sys_fail("socket");
+  // A stale socket file from a killed daemon would make bind fail with
+  // EADDRINUSE; the daemon owns its path, so unlink unconditionally.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    sys_fail("bind " + path);
+  }
+  if (::listen(fd.get(), 64) != 0) sys_fail("listen " + path);
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) sys_fail("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    sys_fail("connect " + path);
+  }
+  return fd;
+}
+
+Fd accept_connection(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno != EINTR) return Fd();
+  }
+}
+
+std::pair<Fd, Fd> stream_socketpair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) sys_fail("socketpair");
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+bool LineChannel::read_line(std::string& line) {
+  while (true) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line.assign(buf_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      // Compact once the consumed prefix dominates (amortized O(1)).
+      if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return true;
+    }
+    if (buf_.size() - pos_ > kMaxLine) return false;  // framing abuse
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error
+  }
+}
+
+bool LineChannel::write_line(std::string_view line) {
+  std::string frame;
+  frame.reserve(line.size() + 1);
+  frame.append(line);
+  frame.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tcgrid::util

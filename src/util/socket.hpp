@@ -1,0 +1,88 @@
+// Local stream-socket helpers for the serve subsystem.
+//
+// The daemon speaks newline-delimited JSON over unix-domain stream sockets;
+// these helpers own the POSIX plumbing: an RAII fd, listen/connect on a
+// filesystem path, an anonymous in-process socketpair (the protocol tests
+// run client and server over one without touching the filesystem), and a
+// buffered line channel implementing the framing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tcgrid::util {
+
+/// RAII file descriptor (move-only; closes on destruction).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Close now (idempotent).
+  void reset();
+  /// Give up ownership without closing.
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on a unix-domain stream socket at `path`, unlinking any
+/// stale socket file first. Throws std::runtime_error (with errno text) on
+/// failure — including paths longer than sockaddr_un allows (~107 bytes).
+[[nodiscard]] Fd listen_unix(const std::string& path);
+
+/// Connect to a listening unix-domain socket. Throws std::runtime_error.
+[[nodiscard]] Fd connect_unix(const std::string& path);
+
+/// Accept one connection (blocking); invalid Fd on failure/shutdown.
+[[nodiscard]] Fd accept_connection(int listen_fd);
+
+/// Anonymous connected stream pair (tests: client on .first, server on
+/// .second). Throws std::runtime_error.
+[[nodiscard]] std::pair<Fd, Fd> stream_socketpair();
+
+/// Buffered newline-delimited framing over a stream socket. Reads retry on
+/// EINTR; writes use MSG_NOSIGNAL so a vanished peer surfaces as a false
+/// return, never SIGPIPE. Non-owning: the fd must outlive the channel.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+
+  /// Read one '\n'-terminated line into `line` (newline stripped). Returns
+  /// false on EOF or error. Lines beyond `kMaxLine` abort the read (a
+  /// hostile peer must not balloon server memory).
+  bool read_line(std::string& line);
+
+  /// Write `line` plus a trailing '\n'; false once the peer is gone.
+  bool write_line(std::string_view line);
+
+  static constexpr std::size_t kMaxLine = 64ull << 20;  ///< 64 MiB
+
+ private:
+  int fd_;
+  std::string buf_;    ///< unconsumed bytes past the last returned line
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tcgrid::util

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -465,6 +466,49 @@ TEST(Spec, GridMatchesLegacyScenarioGrid) {
 TEST(Spec, DefaultHeuristicsAreThePapers17) {
   ExperimentSpec spec;
   EXPECT_EQ(spec.resolved_heuristics().size(), 17u);
+}
+
+TEST(Session, CooperativeStopReturnsPartialStats) {
+  const ExperimentSpec spec = mini_spec();  // 2 scenarios x 2 trials = 4 units
+
+  // Stop already set: no unit starts, but the run still finishes cleanly
+  // (sinks flushed, counts consistent).
+  {
+    Session session(spec.options);
+    AggregateSink agg;
+    std::atomic<bool> stop{true};
+    const auto stats = session.run(spec, {&agg}, nullptr, &stop);
+    EXPECT_TRUE(stats.cancelled);
+    EXPECT_EQ(stats.units_total, 4u);
+    EXPECT_EQ(stats.units_done, 0u);
+    EXPECT_EQ(stats.rows, 0u);
+  }
+
+  // Stop raised from the progress callback after the first completed unit:
+  // the flag is honored at unit boundaries, so completed units are whole
+  // (rows a multiple of the heuristic count) and pending units are skipped.
+  {
+    Session session(spec.options);
+    AggregateSink agg;
+    std::atomic<bool> stop{false};
+    const auto stats = session.run(
+        spec, {&agg}, [&](std::size_t done, std::size_t) { if (done >= 1) stop = true; },
+        &stop);
+    EXPECT_TRUE(stats.cancelled);
+    EXPECT_GE(stats.units_done, 1u);
+    EXPECT_LT(stats.units_done, 4u);
+    EXPECT_EQ(stats.rows, stats.units_done * spec.heuristics.size());
+  }
+
+  // Null stop (the default) is the uncancelled sweep.
+  {
+    Session session(spec.options);
+    AggregateSink agg;
+    const auto stats = session.run(spec, {&agg});
+    EXPECT_FALSE(stats.cancelled);
+    EXPECT_EQ(stats.units_done, 4u);
+    EXPECT_EQ(stats.rows, 4u * spec.heuristics.size());
+  }
 }
 
 TEST(Spec, GridSeedsNeverCollideAcrossCells) {

@@ -1,0 +1,139 @@
+// tcgrid_serve — the sweep-as-a-service daemon (DESIGN.md §11).
+//
+// Listens on a unix-domain socket and speaks the newline-delimited-JSON
+// serve protocol: submit / status / results / cancel / counters. Jobs are
+// checkpointed under --root; restarting the daemon with the same root
+// resumes every incomplete job where it stopped.
+//
+// Usage:
+//   tcgrid_serve --socket /tmp/tcgrid.sock --root /var/lib/tcgrid \
+//                [--threads N] [--eps 1e-6] \
+//                [--default-quota RB:CB] [--quota tenant=RB:CB]...
+//
+// RB:CB are the per-tenant realization-budget and chain-store-bytes quotas,
+// as byte counts with an optional k/m/g suffix (e.g. 64m:512m).
+//
+// SIGINT/SIGTERM stop the daemon cleanly (in-flight units are abandoned,
+// not committed — exactly the kill -9 contract, just politer to the
+// socket). SIGPIPE is ignored; vanished clients surface as write failures.
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using tcgrid::serve::Server;
+using tcgrid::serve::ServerOptions;
+using tcgrid::serve::TenantQuota;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH --root DIR [--threads N] [--eps X]\n"
+               "          [--default-quota RB:CB] [--quota tenant=RB:CB]...\n"
+               "  RB:CB = realization-budget : chain-store bytes, optional k/m/g suffix\n",
+               argv0);
+  std::exit(2);
+}
+
+std::size_t parse_bytes(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("empty byte count");
+  std::size_t mult = 1;
+  std::string digits = s;
+  switch (digits.back()) {
+    case 'k': case 'K': mult = 1ull << 10; digits.pop_back(); break;
+    case 'm': case 'M': mult = 1ull << 20; digits.pop_back(); break;
+    case 'g': case 'G': mult = 1ull << 30; digits.pop_back(); break;
+    default: break;
+  }
+  std::size_t pos = 0;
+  const unsigned long long v = std::stoull(digits, &pos);
+  if (pos != digits.size()) throw std::invalid_argument("bad byte count '" + s + "'");
+  return static_cast<std::size_t>(v) * mult;
+}
+
+TenantQuota parse_quota(const std::string& s) {
+  const std::size_t colon = s.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("quota must be RB:CB, got '" + s + "'");
+  }
+  TenantQuota q;
+  q.realization_budget = parse_bytes(s.substr(0, colon));
+  q.chain_store_bytes = parse_bytes(s.substr(colon + 1));
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  ServerOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--socket") socket_path = next();
+      else if (arg == "--root") options.root = next();
+      else if (arg == "--threads") options.threads = std::stoul(next());
+      else if (arg == "--eps") options.eps = std::stod(next());
+      else if (arg == "--default-quota") options.default_quota = parse_quota(next());
+      else if (arg == "--quota") {
+        const std::string v = next();
+        const std::size_t eq = v.find('=');
+        if (eq == std::string::npos) {
+          throw std::invalid_argument("--quota expects tenant=RB:CB, got '" + v + "'");
+        }
+        options.tenant_quotas[v.substr(0, eq)] = parse_quota(v.substr(eq + 1));
+      } else usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tcgrid_serve: %s\n", e.what());
+    return 2;
+  }
+  if (socket_path.empty() || options.root.empty()) usage(argv[0]);
+
+  // Block the stop signals in every thread (workers inherit the mask); one
+  // dedicated thread sigwait()s them and triggers the stop.
+  sigset_t stop_set;
+  sigemptyset(&stop_set);
+  sigaddset(&stop_set, SIGINT);
+  sigaddset(&stop_set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &stop_set, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    Server server(options);
+    tcgrid::util::Fd listen_fd = tcgrid::util::listen_unix(socket_path);
+    std::fprintf(stderr, "tcgrid_serve: listening on %s (root %s)\n",
+                 socket_path.c_str(), options.root.c_str());
+
+    std::thread stopper([&] {
+      int sig = 0;
+      sigwait(&stop_set, &sig);
+      std::fprintf(stderr, "tcgrid_serve: signal %d, stopping\n", sig);
+      server.hard_stop();
+    });
+
+    server.serve(listen_fd.get());  // returns once hard_stop() ran
+    stopper.join();
+    listen_fd.reset();
+    ::unlink(socket_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tcgrid_serve: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
