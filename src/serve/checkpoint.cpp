@@ -108,13 +108,16 @@ std::string JobCheckpoint::read_manifest() const {
 }
 
 void JobCheckpoint::open_append_fds() {
-  if (rows_fd_ >= 0) return;
-  const std::string rows_path = dir_ + "/rows.jsonl";
-  const std::string units_path = dir_ + "/units.log";
-  rows_fd_ = ::open(rows_path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
-  if (rows_fd_ < 0) sys_fail("open " + rows_path);
-  units_fd_ = ::open(units_path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
-  if (units_fd_ < 0) sys_fail("open " + units_path);
+  if (rows_fd_ < 0) {
+    const std::string rows_path = dir_ + "/rows.jsonl";
+    rows_fd_ = ::open(rows_path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (rows_fd_ < 0) sys_fail("open " + rows_path);
+  }
+  if (units_fd_ < 0) {
+    const std::string units_path = dir_ + "/units.log";
+    units_fd_ = ::open(units_path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (units_fd_ < 0) sys_fail("open " + units_path);
+  }
 }
 
 void JobCheckpoint::commit_unit(std::size_t unit, const std::vector<std::string>& rows) {
@@ -147,24 +150,47 @@ JobCheckpoint::LoadedRows JobCheckpoint::load_rows(std::size_t trials) {
   LoadedRows out;
   std::set<std::size_t> committed;
 
-  if (std::ifstream units(dir_ + "/units.log"); units.is_open()) {
-    std::string line;
-    while (std::getline(units, line)) {
-      // A record is "<unit> ok"; a torn tail (kill -9 mid-append) lacks the
-      // suffix — and, crucially, a torn prefix of a larger unit number must
-      // not read as a smaller one — so anything short of the full form is
-      // skipped as uncommitted.
-      constexpr std::string_view kSuffix = " ok";
-      if (line.size() <= kSuffix.size() ||
-          std::string_view(line).substr(line.size() - kSuffix.size()) != kSuffix) {
-        continue;
-      }
-      std::size_t unit = 0;
-      const char* end = line.data() + line.size() - kSuffix.size();
-      const auto [p, ec] = std::from_chars(line.data(), end, unit);
-      if (ec != std::errc() || p != end) continue;
-      if (committed.insert(unit).second) out.completed_units.push_back(unit);
+  std::string units_raw;
+  if (std::ifstream units(dir_ + "/units.log", std::ios::binary); units.is_open()) {
+    std::ostringstream buf;
+    buf << units.rdbuf();
+    units_raw = std::move(buf).str();
+  }
+  std::string units_clean;
+  for (std::size_t pos = 0; pos < units_raw.size();) {
+    const std::size_t nl = units_raw.find('\n', pos);
+    // A record is "<unit> ok\n"; a torn tail (kill -9 mid-append) lacks the
+    // newline and/or suffix — and, crucially, a torn prefix of a larger
+    // unit number must not read as a smaller one — so anything short of the
+    // full form is skipped as uncommitted.
+    const std::string_view line(units_raw.data() + pos,
+                                (nl == std::string::npos ? units_raw.size() : nl) - pos);
+    pos = nl == std::string::npos ? units_raw.size() : nl + 1;
+    constexpr std::string_view kSuffix = " ok";
+    if (nl == std::string::npos || line.size() <= kSuffix.size() ||
+        line.substr(line.size() - kSuffix.size()) != kSuffix) {
+      continue;
     }
+    std::size_t unit = 0;
+    const char* end = line.data() + line.size() - kSuffix.size();
+    const auto [p, ec] = std::from_chars(line.data(), end, unit);
+    if (ec != std::errc() || p != end) continue;
+    if (committed.insert(unit).second) {
+      out.completed_units.push_back(unit);
+      units_clean.append(line);
+      units_clean += '\n';
+    }
+  }
+  if (units_clean != units_raw) {
+    // Rewrite so the log holds exactly the validated records. O_APPEND never
+    // truncates, so a torn tail left in place would concatenate with the
+    // next commit record ("1" + "1 ok\n" -> "11 ok") and falsely mark a
+    // never-run unit committed.
+    if (units_fd_ >= 0) {
+      ::close(units_fd_);
+      units_fd_ = -1;
+    }
+    write_file_atomic(dir_, "units.log", units_clean);
   }
 
   bool dropped = false;
@@ -213,6 +239,13 @@ JobCheckpoint::LoadedRows JobCheckpoint::load_rows(std::size_t trials) {
     write_file_atomic(dir_, "rows.jsonl", content);
   }
   return out;
+}
+
+bool JobCheckpoint::has_state(const std::string& root, const std::string& job) {
+  const fs::path dir = fs::path(root) / job;
+  std::error_code ec;
+  return fs::exists(dir / "manifest.json", ec) || fs::exists(dir / "units.log", ec) ||
+         fs::exists(dir / "rows.jsonl", ec);
 }
 
 std::vector<std::string> JobCheckpoint::list_jobs(const std::string& root) {

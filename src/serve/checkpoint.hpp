@@ -60,14 +60,23 @@ class JobCheckpoint {
     std::vector<std::size_t> completed_units;  ///< units.log order, deduped
     std::vector<std::string> rows;             ///< committed rows, file order
   };
-  /// Replay the durable state: parse units.log (ignoring a torn tail line),
-  /// keep only rows.jsonl lines whose (scenario, trial) unit — scenario *
-  /// trials + trial — is committed, and rewrite rows.jsonl atomically if
-  /// anything was dropped, so subsequent appends extend a clean file.
+  /// Replay the durable state: parse units.log (dropping torn/garbage
+  /// lines), keep only rows.jsonl lines whose (scenario, trial) unit —
+  /// scenario * trials + trial — is committed, and rewrite either file
+  /// atomically when it held anything beyond the validated records, so
+  /// subsequent O_APPEND writes extend clean files. The units.log rewrite
+  /// is load-bearing: a torn tail left in place would concatenate with the
+  /// next appended record and read back as a different, never-run unit.
   [[nodiscard]] LoadedRows load_rows(std::size_t trials);
 
   /// Job ids under `root` (directories with a manifest). Missing root = {}.
   [[nodiscard]] static std::vector<std::string> list_jobs(const std::string& root);
+
+  /// True when <root>/<job> already holds checkpoint state (a manifest,
+  /// units log, or rows file) — e.g. an unloadable job the daemon skipped
+  /// at startup. Fresh submissions must not reuse such a directory: its
+  /// stale committed units would merge into the new job after a restart.
+  [[nodiscard]] static bool has_state(const std::string& root, const std::string& job);
 
  private:
   void open_append_fds();

@@ -280,6 +280,7 @@ void Server::worker_loop() {
       error = e.what();
     }
 
+    bool published = false;
     if (!failed) {
       // Abandon instead of committing once stopping: hard_stop() promises
       // kill -9 semantics (nothing new becomes durable after it returns).
@@ -294,20 +295,14 @@ void Server::worker_loop() {
         failed = true;
         error = std::string("checkpoint write failed: ") + e.what();
       }
-    }
-
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      job->inflight -= 1;
-      tenant.inflight -= 1;
-      if (failed) {
-        if (!job->terminal()) {
-          job->state = Job::State::Failed;
-          job->error = error;
-        }
-        job->unit_state[unit] = Job::kPending;  // dropped, not committed
-        job->next_scan = std::min(job->next_scan, unit);
-      } else {
+      if (!failed) {
+        // Publish while still holding io_mutex so the in-memory row order
+        // matches rows.jsonl's commit order exactly — `results --from=N`
+        // offsets must index the same sequence before and after a daemon
+        // restart (which rebuilds job->rows in file order).
+        std::lock_guard<std::mutex> lock(mu_);
+        job->inflight -= 1;
+        tenant.inflight -= 1;
         job->unit_state[unit] = Job::kDone;
         job->units_done += 1;
         for (std::string& row : unit_rows) job->rows.push_back(std::move(row));
@@ -322,7 +317,23 @@ void Server::worker_loop() {
             tenant.session->chain_store_counters().bytes > tenant.quota.chain_store_bytes) {
           tenant.draining = true;
         }
+        finalize_if_drained(*job);
+        rows_cv_.notify_all();
+        work_cv_.notify_all();
+        published = true;
       }
+    }
+
+    if (!published) {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->inflight -= 1;
+      tenant.inflight -= 1;
+      if (!job->terminal()) {
+        job->state = Job::State::Failed;
+        job->error = error;
+      }
+      job->unit_state[unit] = Job::kPending;  // dropped, not committed
+      job->next_scan = std::min(job->next_scan, unit);
       finalize_if_drained(*job);
       rows_cv_.notify_all();
       work_cv_.notify_all();
@@ -375,14 +386,21 @@ std::string Server::handle_submit(const json::Value& req) {
   }
   {
     // Reserve the id before dropping mu_ so two racing submits with the same
-    // explicit name can't both pass the existence check.
+    // explicit name can't both pass the existence check. The on-disk check
+    // covers directories that exist but never loaded (corrupt manifest, or
+    // orphaned units/rows files): reusing one would merge its stale
+    // committed units into the new job at the next restart.
     std::lock_guard<std::mutex> lock(mu_);
     if (job_id.empty()) {
       do {
         job_id = "job-" + std::to_string(next_job_number_++);
-      } while (jobs_.count(job_id) != 0 || reserved_ids_.count(job_id) != 0);
+      } while (jobs_.count(job_id) != 0 || reserved_ids_.count(job_id) != 0 ||
+               JobCheckpoint::has_state(options_.root, job_id));
     } else if (jobs_.count(job_id) != 0 || reserved_ids_.count(job_id) != 0) {
       return error_line("job: '" + job_id + "' already exists");
+    } else if (JobCheckpoint::has_state(options_.root, job_id)) {
+      return error_line("job: '" + job_id + "' already exists on disk (unloaded " +
+                        "checkpoint directory); remove it to reuse the id");
     }
     reserved_ids_.insert(job_id);
   }
@@ -639,6 +657,15 @@ void Server::serve(int listen_fd) {
       std::lock_guard<std::mutex> lock(conn_mu_);
       conn_fds_.insert(raw);
       ++active_conns_;
+    }
+    {
+      // Close the accept/stop race: a connection registered after
+      // hard_stop()'s shutdown pass over conn_fds_ would otherwise park its
+      // handler in recv forever, and the stop's drain-wait with it.
+      // stopping_ is set before that pass, so re-checking here after the
+      // insert guarantees one of the two shutdowns reaches every fd.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) ::shutdown(raw, SHUT_RDWR);
     }
     // Detached: finished handlers reap themselves (an ever-growing join
     // list would leak thread handles over a daemon's life). The final

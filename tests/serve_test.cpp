@@ -359,6 +359,19 @@ TEST(Serve, HardStopResumeMatchesUninterruptedRun) {
   const auto [rows_after, end] = client.stream_results("sweep");
   EXPECT_EQ(end.find("state")->as_string(), "done");
 
+  // In-memory publication order equals rows.jsonl commit order — `results
+  // --from=N` offsets must index the same sequence before and after a
+  // restart, and the restart rebuilds job->rows in file order.
+  std::vector<std::string> file_rows;
+  {
+    std::ifstream in(opts.root + "/sweep/rows.jsonl");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) file_rows.push_back(line);
+    }
+  }
+  EXPECT_EQ(rows_after, file_rows);
+
   // Union of everything streamed across both daemon lifetimes, deduped
   // (the restart re-streams committed rows), sorted: byte-identical to the
   // uninterrupted run.
@@ -404,6 +417,69 @@ TEST(Serve, CheckpointFiltersTornAndUncommittedRows) {
   serve::JobCheckpoint again(root, "job");
   const auto reloaded = again.load_rows(/*trials=*/2);
   EXPECT_EQ(reloaded.rows, loaded.rows);
+}
+
+TEST(Serve, TornUnitsTailCannotMergeWithNextCommit) {
+  const std::string root = fresh_root("torntail");
+  {
+    serve::JobCheckpoint ckpt(root, "job");
+    ckpt.write_manifest(R"({"job":"job"})");
+    ckpt.commit_unit(3, {R"({"scenario":1,"trial":1,"x":1})"});
+  }
+  // kill -9 mid-append can tear a commit record down to a bare digit prefix
+  // with no newline. units.log is reopened O_APPEND on resume, so without
+  // the load-time rewrite this tail would concatenate with the next record
+  // ("1" + "1 ok\n" -> "11 ok") and mark never-run unit 11 committed.
+  {
+    std::ofstream units(root + "/job/units.log", std::ios::app | std::ios::binary);
+    units << "1";
+  }
+  {
+    serve::JobCheckpoint ckpt(root, "job");
+    const auto loaded = ckpt.load_rows(/*trials=*/2);
+    EXPECT_EQ(loaded.completed_units, std::vector<std::size_t>{3});
+    ckpt.commit_unit(1, {R"({"scenario":0,"trial":1,"x":2})"});
+  }
+  serve::JobCheckpoint again(root, "job");
+  const auto reloaded = again.load_rows(/*trials=*/2);
+  const std::set<std::size_t> committed(reloaded.completed_units.begin(),
+                                        reloaded.completed_units.end());
+  EXPECT_EQ(committed, (std::set<std::size_t>{1, 3}));
+  EXPECT_EQ(reloaded.rows.size(), 2u);
+}
+
+TEST(Serve, StaleOnDiskDirectoriesAreNotReused) {
+  serve::ServerOptions opts;
+  opts.root = fresh_root("stale");
+  opts.threads = 1;
+  // Two leftovers a fresh daemon cannot load: a corrupt manifest (listed at
+  // startup, skipped) and an orphaned units.log with no manifest at all.
+  // Both hold committed-unit state that must never merge into a new job.
+  std::filesystem::create_directories(opts.root + "/stale");
+  std::filesystem::create_directories(opts.root + "/job-1");
+  {
+    std::ofstream manifest(opts.root + "/stale/manifest.json");
+    manifest << "not json";
+    std::ofstream units(opts.root + "/stale/units.log");
+    units << "0 ok\n";
+    std::ofstream orphan(opts.root + "/job-1/units.log");
+    orphan << "0 ok\n";
+  }
+  serve::Server server(opts);
+  Client client(server);
+
+  const json::Value rejected = client.submit(tiny_spec(), "alice", "stale");
+  EXPECT_FALSE(is_ok(rejected));
+  EXPECT_NE(error_of(rejected).find("already exists"), std::string::npos)
+      << error_of(rejected);
+
+  // Generated ids skip over on-disk leftovers too.
+  const json::Value ack = client.submit(tiny_spec(), "alice");
+  ASSERT_TRUE(is_ok(ack)) << error_of(ack);
+  EXPECT_NE(ack.find("job")->as_string(), "job-1");
+  const auto [rows, end] = client.stream_results(ack.find("job")->as_string());
+  EXPECT_EQ(end.find("state")->as_string(), "done");
+  EXPECT_EQ(rows.size(), 16u);
 }
 
 TEST(Serve, DuplicateJobIdsAreRejected) {
