@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -15,6 +16,7 @@
 #include "api/api.hpp"
 #include "expt/report.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 namespace tcgrid::bench {
 
@@ -93,6 +95,22 @@ inline expt::SweepResults run_and_aggregate(const api::ExperimentSpec& spec,
     std::exit(2);
   }
   return std::move(aggregate).take();
+}
+
+/// Write one BENCH_*.json CI artifact: canonical dump through util/json —
+/// the same serializer the serve protocol and the obs exposition use —
+/// replacing the per-bench hand-rolled snprintf emitters. Returns 0, or 1
+/// (with a message on stderr) when the path is unwritable.
+inline int write_json_artifact(const char* bench_name, const std::string& path,
+                               const util::json::Value& artifact) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_name, path.c_str());
+    return 1;
+  }
+  out << util::json::dump(artifact) << '\n';
+  std::fprintf(stderr, "%s: wrote %s\n", bench_name, path.c_str());
+  return 0;
 }
 
 /// The %diff values published in the paper's Table I (m = 5).

@@ -175,43 +175,41 @@ int emit_json(const util::Cli& cli) {
       "IY", "RANDOM",                 // per-slot by contract (no skipping)
   };
 
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "bench_engine: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  out << "{\n  \"bench\": \"engine_fast_forward\",\n"
-      << "  \"sweep\": {\"m\": " << spec.grid.ms[0]
-      << ", \"scenarios_per_cell\": " << spec.grid.scenarios_per_cell
-      << ", \"trials\": " << spec.trials << ", \"slot_cap\": " << spec.options.slot_cap
-      << "},\n  \"heuristics\": [\n";
-
+  namespace json = util::json;
+  json::Array rows;
   bool all_identical = true;
-  for (std::size_t i = 0; i < heuristics.size(); ++i) {
-    const std::string& name = heuristics[i];
+  for (const std::string& name : heuristics) {
     const SweepTiming off = run_sweep(spec, name, false);
     const SweepTiming on = run_sweep(spec, name, true);
     const bool identical = on.digest == off.digest && on.slots == off.slots;
     all_identical = all_identical && identical;
     const double on_rate = static_cast<double>(on.slots) / on.seconds;
     const double off_rate = static_cast<double>(off.slots) / off.seconds;
-    char buf[512];
-    std::snprintf(buf, sizeof buf,
-                  "    {\"name\": \"%s\", \"slots\": %ld, "
-                  "\"slots_per_sec_fast_forward\": %.0f, "
-                  "\"slots_per_sec_per_slot\": %.0f, \"speedup\": %.3f, "
-                  "\"identical\": %s}%s\n",
-                  name.c_str(), on.slots, on_rate, off_rate, on_rate / off_rate,
-                  identical ? "true" : "false",
-                  i + 1 < heuristics.size() ? "," : "");
-    out << buf;
+    rows.push_back(json::Object{
+        {"name", name},
+        {"slots", on.slots},
+        {"slots_per_sec_fast_forward", on_rate},
+        {"slots_per_sec_per_slot", off_rate},
+        {"speedup", on_rate / off_rate},
+        {"identical", identical},
+    });
     std::fprintf(stderr, "%-6s %9ld slots  ff %8.0f/s  per-slot %8.0f/s  x%.2f  %s\n",
                  name.c_str(), on.slots, on_rate, off_rate, on_rate / off_rate,
                  identical ? "identical" : "MISMATCH");
   }
-  out << "  ],\n  \"all_identical\": " << (all_identical ? "true" : "false")
-      << "\n}\n";
-  std::fprintf(stderr, "bench_engine: wrote %s\n", path.c_str());
+  const json::Value artifact = json::Object{
+      {"bench", "engine_fast_forward"},
+      {"sweep",
+       json::Object{{"m", spec.grid.ms[0]},
+                    {"scenarios_per_cell", spec.grid.scenarios_per_cell},
+                    {"trials", spec.trials},
+                    {"slot_cap", spec.options.slot_cap}}},
+      {"heuristics", std::move(rows)},
+      {"all_identical", all_identical},
+  };
+  if (const int rc = bench::write_json_artifact("bench_engine", path, artifact); rc != 0) {
+    return rc;
+  }
   return all_identical ? 0 : 2;  // CI fails on any fast-forward divergence
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "markov/chain_stats.hpp"
 #include "markov/series.hpp"
 #include "platform/scenario.hpp"
@@ -307,17 +308,10 @@ int emit_json(const util::Cli& cli) {
   cases.push_back({"homogeneous", homogeneous_scenario(20)});
   cases.push_back({"paper", platform::make_scenario(paper_params)});
 
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "bench_estimator: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  out << "{\n  \"bench\": \"estimator_chain_stats\",\n  \"reps\": " << reps
-      << ",\n  \"platforms\": [\n";
-
+  namespace json = tcgrid::util::json;
+  json::Array platforms;
   bool all_identical = true;
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    const Case& c = cases[i];
+  for (const Case& c : cases) {
     // Shared store: session-style, one store for every estimator of the
     // case. Private: the shared_chain_stats=off ablation.
     auto store = std::make_shared<markov::ChainStatsStore>(1e-6);
@@ -328,27 +322,30 @@ int emit_json(const util::Cli& cli) {
     all_identical = all_identical && identical;
     const auto counters = store->counters();
 
-    char buf[1280];
-    std::snprintf(
-        buf, sizeof buf,
-        "    {\"name\": \"%s\", \"p\": %d, \"distinct_chains\": %zu,\n"
-        "     \"cold_us\": {\"shared\": %.2f, \"private\": %.2f, \"speedup\": %.2f},\n"
-        "     \"warm_evaluate_ns\": {\"shared\": %.0f, \"private\": %.0f},\n"
-        "     \"table_growth_us\": {\"shared\": %.2f, \"private\": %.2f},\n"
-        "     \"warm_resubmit_us\": {\"first_submit\": %.2f, \"resubmit\": %.2f, "
-        "\"speedup\": %.2f},\n"
-        "     \"store\": {\"chains\": %zu, \"intern_hits\": %zu, \"set_entries\": %zu, "
-        "\"set_hits\": %zu, \"set_misses\": %zu, \"survival_entries\": %zu, "
-        "\"bytes\": %zu},\n"
-        "     \"identical\": %s}%s\n",
-        c.name, c.scenario.platform.size(), counters.chains, shared.cold_us,
-        priv.cold_us, priv.cold_us / shared.cold_us, shared.warm_ns, priv.warm_ns,
-        shared.growth_us, priv.growth_us, resubmit.first_us, resubmit.resubmit_us,
-        resubmit.first_us / resubmit.resubmit_us, counters.chains,
-        counters.intern_hits, counters.set_entries, counters.set_hits,
-        counters.set_misses, counters.survival_entries, counters.bytes,
-        identical ? "true" : "false", i + 1 < cases.size() ? "," : "");
-    out << buf;
+    platforms.push_back(json::Object{
+        {"name", c.name},
+        {"p", static_cast<unsigned long long>(c.scenario.platform.size())},
+        {"distinct_chains", counters.chains},
+        {"cold_us", json::Object{{"shared", shared.cold_us},
+                                 {"private", priv.cold_us},
+                                 {"speedup", priv.cold_us / shared.cold_us}}},
+        {"warm_evaluate_ns",
+         json::Object{{"shared", shared.warm_ns}, {"private", priv.warm_ns}}},
+        {"table_growth_us",
+         json::Object{{"shared", shared.growth_us}, {"private", priv.growth_us}}},
+        {"warm_resubmit_us",
+         json::Object{{"first_submit", resubmit.first_us},
+                      {"resubmit", resubmit.resubmit_us},
+                      {"speedup", resubmit.first_us / resubmit.resubmit_us}}},
+        {"store", json::Object{{"chains", counters.chains},
+                               {"intern_hits", counters.intern_hits},
+                               {"set_entries", counters.set_entries},
+                               {"set_hits", counters.set_hits},
+                               {"set_misses", counters.set_misses},
+                               {"survival_entries", counters.survival_entries},
+                               {"bytes", counters.bytes}}},
+        {"identical", identical},
+    });
     std::fprintf(stderr,
                  "%-12s cold %8.2fus shared / %8.2fus private (x%.1f)  warm "
                  "%6.0fns / %6.0fns  growth %8.2fus / %8.2fus  resubmit "
@@ -359,9 +356,16 @@ int emit_json(const util::Cli& cli) {
                  resubmit.first_us / resubmit.resubmit_us,
                  identical ? "identical" : "MISMATCH");
   }
-  out << "  ],\n  \"all_identical\": " << (all_identical ? "true" : "false")
-      << "\n}\n";
-  std::fprintf(stderr, "bench_estimator: wrote %s\n", path.c_str());
+  const json::Value artifact = json::Object{
+      {"bench", "estimator_chain_stats"},
+      {"reps", reps},
+      {"platforms", std::move(platforms)},
+      {"all_identical", all_identical},
+  };
+  if (const int rc = tcgrid::bench::write_json_artifact("bench_estimator", path, artifact);
+      rc != 0) {
+    return rc;
+  }
   return all_identical ? 0 : 2;  // CI fails on shared/private divergence
 }
 

@@ -1,26 +1,30 @@
 // Trial-major sweep bench: shared materialized realizations vs per-heuristic
 // live generation (DESIGN.md §9).
 //
-// Runs the reduced sweep over a representative heuristic set TWICE with the
-// same seeds — once with realization sharing on (the default budget), once
-// with it disabled (realization_budget = 0, i.e. every heuristic run
-// regenerates its availability stream) — verifies the outcomes are
-// bit-identical via an order-independent digest over every per-trial
-// counter, and writes wall time, rows/sec and the speedup to
+// Runs the reduced sweep over a representative heuristic set THREE ways
+// with the same seeds — realization sharing on (the default budget),
+// sharing disabled (realization_budget = 0, i.e. every heuristic run
+// regenerates its availability stream), and sharing on with the obs metrics
+// layer enabled — verifies all outcomes are bit-identical via an
+// order-independent digest over every per-trial counter, and writes wall
+// times, rows/sec, the sharing speedup and the obs overhead ratio to
 // BENCH_sweep.json. The CI Release job runs this and uploads the artifact;
 // the committed BENCH_sweep.json at the repo root is the tracked baseline.
-// Exit codes: 0 ok, 2 on any shared/live divergence (CI fails on it).
+// The "obs" section is the enabled-path overhead measurement DESIGN.md §12
+// cites (budget: < 2% on rows/sec); the other two arms run with obs
+// disabled, i.e. they also measure the disabled path at parity.
+// Exit codes: 0 ok, 2 on any digest divergence (CI fails on it).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "api/api.hpp"
 #include "bench_common.hpp"
 #include "markov/chain_stats.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -93,24 +97,35 @@ int main(int argc, char** argv) {
   const long reps = std::max(1L, cli.get_long("reps", 5));
   SweepTiming live_t;
   SweepTiming shared_t;
+  SweepTiming obs_t;
   for (long r = 0; r < reps; ++r) {
     const SweepTiming l = run_sweep(live);
     const SweepTiming s = run_sweep(spec);
+    // Third arm: the shared sweep with obs metric updates enabled — the
+    // instrumented-path overhead measurement. Interleaved with the other
+    // arms so all three see the same machine noise.
+    obs::configure({.enabled = true});
+    const SweepTiming o = run_sweep(spec);
+    obs::configure({});
     if (r == 0) {
       live_t = l;
       shared_t = s;
+      obs_t = o;
     } else {
-      if (l.digest != live_t.digest || s.digest != shared_t.digest) {
+      if (l.digest != live_t.digest || s.digest != shared_t.digest ||
+          o.digest != obs_t.digest) {
         std::fprintf(stderr, "bench_sweep: nondeterministic repetition digest\n");
         return 2;
       }
       live_t.seconds = std::min(live_t.seconds, l.seconds);
       shared_t.seconds = std::min(shared_t.seconds, s.seconds);
+      obs_t.seconds = std::min(obs_t.seconds, o.seconds);
     }
   }
 
   const bool identical =
-      shared_t.digest == live_t.digest && shared_t.rows == live_t.rows;
+      shared_t.digest == live_t.digest && shared_t.rows == live_t.rows &&
+      obs_t.digest == shared_t.digest && obs_t.rows == shared_t.rows;
   const double shared_rate = static_cast<double>(shared_t.rows) / shared_t.seconds;
   const double live_rate = static_cast<double>(live_t.rows) / live_t.seconds;
   const double speedup = live_t.seconds / shared_t.seconds;
@@ -125,44 +140,53 @@ int main(int argc, char** argv) {
           : static_cast<double>(cs.set_hits) /
                 static_cast<double>(cs.set_hits + cs.set_misses);
 
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "bench_sweep: cannot write %s\n", path.c_str());
-    return 1;
+  const double obs_rate = static_cast<double>(obs_t.rows) / obs_t.seconds;
+  const double obs_overhead = obs_t.seconds / shared_t.seconds - 1.0;
+
+  namespace json = util::json;
+  const json::Value artifact = json::Object{
+      {"bench", "sweep_shared_realizations"},
+      {"sweep", json::Object{{"m", spec.grid.ms[0]},
+                             {"scenarios_per_cell", spec.grid.scenarios_per_cell},
+                             {"trials", spec.trials},
+                             {"slot_cap", spec.options.slot_cap},
+                             {"heuristics", spec.heuristics.size()}}},
+      {"rows", shared_t.rows},
+      {"slots", shared_t.slots},
+      {"shared", json::Object{{"seconds", shared_t.seconds},
+                              {"rows_per_sec", shared_rate}}},
+      {"live",
+       json::Object{{"seconds", live_t.seconds}, {"rows_per_sec", live_rate}}},
+      {"speedup", speedup},
+      {"obs", json::Object{{"seconds", obs_t.seconds},
+                           {"rows_per_sec", obs_rate},
+                           {"overhead", obs_overhead}}},
+      {"chain_store", json::Object{{"chains", cs.chains},
+                                   {"intern_hits", cs.intern_hits},
+                                   {"set_entries", cs.set_entries},
+                                   {"set_hits", cs.set_hits},
+                                   {"set_misses", cs.set_misses},
+                                   {"set_hit_rate", set_hit_rate},
+                                   {"survival_entries", cs.survival_entries},
+                                   {"bytes", cs.bytes}}},
+      {"identical", identical},
+  };
+  if (const int rc = bench::write_json_artifact("bench_sweep", path, artifact);
+      rc != 0) {
+    return rc;
   }
-  char buf[1536];
-  std::snprintf(
-      buf, sizeof buf,
-      "{\n"
-      "  \"bench\": \"sweep_shared_realizations\",\n"
-      "  \"sweep\": {\"m\": %d, \"scenarios_per_cell\": %d, \"trials\": %d, "
-      "\"slot_cap\": %ld, \"heuristics\": %zu},\n"
-      "  \"rows\": %zu,\n"
-      "  \"slots\": %ld,\n"
-      "  \"shared\": {\"seconds\": %.3f, \"rows_per_sec\": %.1f},\n"
-      "  \"live\": {\"seconds\": %.3f, \"rows_per_sec\": %.1f},\n"
-      "  \"speedup\": %.3f,\n"
-      "  \"chain_store\": {\"chains\": %zu, \"intern_hits\": %zu, "
-      "\"set_entries\": %zu, \"set_hits\": %zu, \"set_misses\": %zu, "
-      "\"set_hit_rate\": %.3f, \"survival_entries\": %zu, \"bytes\": %zu},\n"
-      "  \"identical\": %s\n"
-      "}\n",
-      spec.grid.ms[0], spec.grid.scenarios_per_cell, spec.trials,
-      spec.options.slot_cap, spec.heuristics.size(), shared_t.rows, shared_t.slots,
-      shared_t.seconds, shared_rate, live_t.seconds, live_rate, speedup, cs.chains,
-      cs.intern_hits, cs.set_entries, cs.set_hits, cs.set_misses, set_hit_rate,
-      cs.survival_entries, cs.bytes, identical ? "true" : "false");
-  out << buf;
   std::fprintf(stderr,
                "bench_sweep: %zu rows  shared %.3fs (%.0f rows/s)  live %.3fs "
                "(%.0f rows/s)  speedup x%.2f  %s\n",
                shared_t.rows, shared_t.seconds, shared_rate, live_t.seconds,
                live_rate, speedup, identical ? "identical" : "MISMATCH");
   std::fprintf(stderr,
+               "bench_sweep: obs enabled %.3fs (%.0f rows/s)  overhead %+.2f%%\n",
+               obs_t.seconds, obs_rate, 100.0 * obs_overhead);
+  std::fprintf(stderr,
                "bench_sweep: chain store  %zu chains (+%zu dedup hits)  %zu set "
                "entries (%.1f%% hit rate)  %zu survival entries  %zu bytes\n",
                cs.chains, cs.intern_hits, cs.set_entries, 100.0 * set_hit_rate,
                cs.survival_entries, cs.bytes);
-  std::fprintf(stderr, "bench_sweep: wrote %s\n", path.c_str());
-  return identical ? 0 : 2;  // CI fails on shared/live divergence
+  return identical ? 0 : 2;  // CI fails on any digest divergence
 }

@@ -10,10 +10,14 @@
 //   serve_client status   --socket S --job ID
 //   serve_client results  --socket S --job ID [--from N] [--wait]
 //   serve_client cancel   --socket S --job ID
-//   serve_client counters --socket S
+//   serve_client counters --socket S [--json]
+//   serve_client metrics  --socket S [--json | --prometheus]
 //
 // `submit --follow` submits, then streams rows until the job is terminal —
 // the one-command equivalent of run_experiment against a warm daemon.
+// `counters` and `metrics` render aligned tables for humans by default;
+// --json keeps the raw one-line protocol response for scripts, and
+// `metrics --prometheus` prints the text exposition for a scrape pipeline.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +31,7 @@
 #include "serve/protocol.hpp"
 #include "util/json.hpp"
 #include "util/socket.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -36,11 +41,13 @@ using tcgrid::util::LineChannel;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: serve_client <submit|status|results|cancel|counters> --socket PATH ...\n"
+      "usage: serve_client <submit|status|results|cancel|counters|metrics> --socket PATH ...\n"
       "  submit   --tenant T (--spec FILE | --reduced M [--cap N]) [--job ID] [--follow]\n"
       "  status   --job ID\n"
       "  results  --job ID [--from N] [--wait]\n"
-      "  cancel   --job ID\n");
+      "  cancel   --job ID\n"
+      "  counters [--json]\n"
+      "  metrics  [--json | --prometheus]\n");
   std::exit(2);
 }
 
@@ -88,6 +95,80 @@ void check_ok(const std::string& response) {
   }
 }
 
+std::string uint_cell(const json::Value& parent, const char* key) {
+  const json::Value* v = parent.find(key);
+  return v == nullptr ? "-" : std::to_string(v->as_uint());
+}
+
+/// Human-readable rendering of a `counters` response: one fleet summary
+/// line, then one table row per tenant.
+void print_counters_table(const json::Value& v) {
+  const json::Value* fleet = v.find("fleet");
+  std::printf("threads %s  jobs %s", uint_cell(v, "threads").c_str(),
+              uint_cell(v, "jobs").c_str());
+  if (fleet != nullptr) {
+    std::printf("  queue %s  inflight %s  busy %s",
+                uint_cell(*fleet, "queue_depth").c_str(),
+                uint_cell(*fleet, "inflight_units").c_str(),
+                uint_cell(*fleet, "busy_workers").c_str());
+  }
+  std::printf("\n\n");
+  tcgrid::util::Table table({"tenant", "jobs", "units", "rows", "inflight",
+                             "draining", "evictions", "chains", "set hits",
+                             "store bytes"});
+  if (const json::Value* tenants = v.find("tenants"); tenants != nullptr) {
+    for (const auto& [name, t] : tenants->as_object()) {
+      const json::Value* store = t.find("chain_store");
+      table.add_row(
+          {name, uint_cell(t, "jobs"), uint_cell(t, "units_done"),
+           uint_cell(t, "rows"), uint_cell(t, "inflight"),
+           t.find("draining")->as_bool() ? "yes" : "no", uint_cell(t, "evictions"),
+           store != nullptr ? uint_cell(*store, "chains") : "-",
+           store != nullptr ? uint_cell(*store, "set_hits") : "-",
+           store != nullptr ? uint_cell(*store, "bytes") : "-"});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+/// Human-readable rendering of a `metrics` response: one table row per
+/// series — counters/gauges show their value, histograms count + mean.
+void print_metrics_table(const json::Value& v) {
+  if (const json::Value* enabled = v.find("enabled");
+      enabled != nullptr && enabled->is_bool() && !enabled->as_bool()) {
+    std::printf("(obs disabled on the daemon — series are registered but zero)\n");
+  }
+  tcgrid::util::Table table({"metric", "labels", "kind", "value", "mean"});
+  const json::Value* metrics = v.find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    throw std::runtime_error("metrics: malformed response (no metrics array)");
+  }
+  for (const json::Value& m : metrics->as_array()) {
+    std::string labels;
+    if (const json::Value* l = m.find("labels"); l != nullptr) {
+      for (const auto& [k, lv] : l->as_object()) {
+        if (!labels.empty()) labels += ',';
+        labels += k + "=" + lv.as_string();
+      }
+    }
+    const std::string kind = m.find("kind")->as_string();
+    std::string value, mean = "-";
+    if (kind == "histogram") {
+      const unsigned long long count = m.find("count")->as_uint();
+      const unsigned long long sum = m.find("sum")->as_uint();
+      value = std::to_string(count);
+      if (count > 0) {
+        mean = tcgrid::util::Table::num(static_cast<double>(sum) /
+                                        static_cast<double>(count));
+      }
+    } else {
+      value = json::dump(*m.find("value"));
+    }
+    table.add_row({m.find("name")->as_string(), labels, kind, value, mean});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,7 +179,7 @@ int main(int argc, char** argv) {
   int reduced_m = 0;
   long cap = 200'000;
   std::size_t from = 0;
-  bool follow = false, wait = false;
+  bool follow = false, wait = false, raw_json = false, prometheus = false;
   try {
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -115,6 +196,8 @@ int main(int argc, char** argv) {
       else if (arg == "--from") from = std::stoul(next());
       else if (arg == "--follow") follow = true;
       else if (arg == "--wait") wait = true;
+      else if (arg == "--json") raw_json = true;
+      else if (arg == "--prometheus") prometheus = true;
       else usage();
     }
     if (socket_path.empty()) usage();
@@ -162,7 +245,21 @@ int main(int argc, char** argv) {
     } else if (command == "counters") {
       const std::string response = roundtrip(ch, tcgrid::serve::counters_request());
       check_ok(response);
-      std::printf("%s\n", response.c_str());
+      if (raw_json) std::printf("%s\n", response.c_str());
+      else print_counters_table(json::parse(response));
+    } else if (command == "metrics") {
+      const std::string response = roundtrip(
+          ch, tcgrid::serve::metrics_request(prometheus ? "prometheus" : "json"));
+      check_ok(response);
+      if (prometheus) {
+        // The exposition text rides inside the JSON response (the protocol
+        // is line-based); unwrap it for piping into a scrape file.
+        std::printf("%s", json::parse(response).find("prometheus")->as_string().c_str());
+      } else if (raw_json) {
+        std::printf("%s\n", response.c_str());
+      } else {
+        print_metrics_table(json::parse(response));
+      }
     } else {
       usage();
     }

@@ -5,11 +5,89 @@
 #include <optional>
 
 #include "expt/runner.hpp"
+#include "obs/obs.hpp"
 #include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tcgrid::api {
+
+namespace {
+
+/// Registered-once handles for the session/engine instrument sites (the
+/// registration takes the registry mutex; the handles never do).
+struct SessionMetrics {
+  obs::Histogram unit_us;        ///< whole (scenario, trial) unit
+  obs::Histogram claim_us;       ///< entry_for: cache hit or estimator build
+  obs::Histogram run_replay_us;  ///< one engine run, replayed realization
+  obs::Histogram run_live_us;    ///< one engine run, live generation
+  obs::Histogram emit_us;        ///< sink-emit section (incl. mutex wait)
+  obs::Counter budget_fallbacks; ///< units dropped to live by budget overflow
+};
+
+SessionMetrics& session_metrics() {
+  static SessionMetrics m = [] {
+    obs::Registry& reg = obs::Registry::instance();
+    return SessionMetrics{
+        reg.histogram("tcgrid_session_unit_us"),
+        reg.histogram("tcgrid_session_claim_us"),
+        reg.histogram("tcgrid_session_run_us", {{"mode", "replay"}}),
+        reg.histogram("tcgrid_session_run_us", {{"mode", "live"}}),
+        reg.histogram("tcgrid_session_emit_us"),
+        reg.counter("tcgrid_session_budget_fallbacks_total"),
+    };
+  }();
+  return m;
+}
+
+struct EngineMetrics {
+  obs::Counter consults;
+  obs::Counter per_slot_steps;
+  obs::Counter runs_comm, runs_configured, runs_idle;
+  obs::Counter slots_comm, slots_configured, slots_idle;
+  obs::Counter replay_jumps;
+  obs::Histogram bulk_advance_slots;
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m = [] {
+    obs::Registry& reg = obs::Registry::instance();
+    return EngineMetrics{
+        reg.counter("tcgrid_engine_consults_total"),
+        reg.counter("tcgrid_engine_per_slot_steps_total"),
+        reg.counter("tcgrid_engine_bulk_runs_total", {{"kind", "comm"}}),
+        reg.counter("tcgrid_engine_bulk_runs_total", {{"kind", "configured"}}),
+        reg.counter("tcgrid_engine_bulk_runs_total", {{"kind", "idle"}}),
+        reg.counter("tcgrid_engine_bulk_slots_total", {{"kind", "comm"}}),
+        reg.counter("tcgrid_engine_bulk_slots_total", {{"kind", "configured"}}),
+        reg.counter("tcgrid_engine_bulk_slots_total", {{"kind", "idle"}}),
+        reg.counter("tcgrid_engine_replay_jumps_total"),
+        reg.histogram("tcgrid_engine_bulk_advance_slots"),
+    };
+  }();
+  return m;
+}
+
+/// Fold one finished run's RunTelemetry into the registry. Covers every
+/// engine the session constructs (run_one and run_replayed are the two
+/// construction sites shared by run(), run_trial() and the serve workers).
+void flush_engine_telemetry(const sim::Engine& engine) {
+  if (!obs::enabled()) return;
+  const sim::RunTelemetry& t = engine.telemetry();
+  EngineMetrics& m = engine_metrics();
+  m.consults.inc(static_cast<std::uint64_t>(engine.consults()));
+  m.per_slot_steps.inc(static_cast<std::uint64_t>(t.per_slot_steps));
+  m.runs_comm.inc(static_cast<std::uint64_t>(t.bulk_runs_comm));
+  m.runs_configured.inc(static_cast<std::uint64_t>(t.bulk_runs_configured));
+  m.runs_idle.inc(static_cast<std::uint64_t>(t.bulk_runs_idle));
+  m.slots_comm.inc(static_cast<std::uint64_t>(t.bulk_slots_comm));
+  m.slots_configured.inc(static_cast<std::uint64_t>(t.bulk_slots_configured));
+  m.slots_idle.inc(static_cast<std::uint64_t>(t.bulk_slots_idle));
+  m.replay_jumps.inc(static_cast<std::uint64_t>(t.replay_jumps));
+  m.bulk_advance_slots.merge(t.bulk_advance_slots);
+}
+
+}  // namespace
 
 Session::Session(Options options) : options_(options) {
   if (options_.shared_chain_stats) {
@@ -107,7 +185,12 @@ sim::SimulationResult Session::run_one(const Options& options,
       util::derive_seed(scenario.params.seed, 2000 + static_cast<std::uint64_t>(trial)));
   sim::Engine engine(scenario.platform, scenario.app, *availability, *scheduler,
                      options.engine(trace != nullptr));
-  sim::SimulationResult result = engine.run();
+  sim::SimulationResult result;
+  {
+    const obs::ScopedTimer timer(session_metrics().run_live_us);
+    result = engine.run();
+  }
+  flush_engine_telemetry(engine);
   if (trace != nullptr) *trace = engine.trace();
   return result;
 }
@@ -124,7 +207,17 @@ sim::SimulationResult Session::run_replayed(const Options& options,
       util::derive_seed(scenario.params.seed, 2000 + static_cast<std::uint64_t>(trial)));
   sim::Engine engine(scenario.platform, scenario.app, realization, *scheduler,
                      options.engine(false));
-  return engine.run();
+  // Timed manually rather than via ScopedTimer: engine.run() can throw
+  // RealizationBudgetExceeded, and an aborted run's partial duration would
+  // pollute the replay latency series (the caller re-runs it live).
+  const bool metered = obs::enabled();
+  const std::uint64_t t0 = metered ? obs::steady_now_us() : 0;
+  sim::SimulationResult result = engine.run();
+  if (metered) {
+    session_metrics().run_replay_us.observe(obs::steady_now_us() - t0);
+  }
+  flush_engine_telemetry(engine);
+  return result;
 }
 
 sim::SimulationResult Session::run_trial(const platform::ScenarioParams& params,
@@ -186,11 +279,28 @@ std::vector<sim::SimulationResult> Session::run_unit(
     const std::shared_ptr<const scen::PlatformFamily>& platform_family,
     const platform::ScenarioParams& params,
     const std::vector<std::string>& heuristics, int trial) {
+  // Unit span + latency breakdown: claim (estimator cache hit or build) →
+  // realize/replay per heuristic → the whole unit. Tracer fields identify
+  // the unit; the histograms aggregate across all units.
+  obs::Span span("unit");
+  span.field("seed", params.seed);
+  span.field("m", params.m);
+  span.field("ncom", params.ncom);
+  span.field("wmin", params.wmin);
+  span.field("trial", trial);
+  const bool metered = obs::enabled();
+  const std::uint64_t t_start = metered ? obs::steady_now_us() : 0;
+
   // The scenario and estimator come from the calling thread's private
   // cache: every heuristic of the unit (and any further unit of the same
   // scenario this thread picks up) reuses one warm, non-thread-safe
   // estimator without locking. clear_caches() releases the entries.
   ScenarioEntry& entry = entry_for(platform_family, params);
+  if (metered) {
+    const std::uint64_t claim_us = obs::steady_now_us() - t_start;
+    session_metrics().claim_us.observe(claim_us);
+    span.field("claim_us", claim_us);
+  }
 
   std::optional<platform::Realization> realization;
   if (options.realization_budget > 0) {
@@ -201,6 +311,7 @@ std::vector<sim::SimulationResult> Session::run_unit(
         options.realization_budget);
   }
   std::vector<sim::SimulationResult> results(heuristics.size());
+  std::size_t replayed = 0;
   for (std::size_t h = 0; h < heuristics.size(); ++h) {
     if (realization.has_value()) {
       // Last consumer: whatever this run needs beyond the already
@@ -213,6 +324,7 @@ std::vector<sim::SimulationResult> Session::run_unit(
       try {
         results[h] = run_replayed(options, *realization, entry.scenario,
                                   entry.estimator, heuristics[h], trial);
+        ++replayed;
         continue;
       } catch (const platform::RealizationBudgetExceeded&) {
         // This trial's timeline outgrew the budget: drop the artifact and
@@ -220,11 +332,18 @@ std::vector<sim::SimulationResult> Session::run_unit(
         // re-running the interrupted heuristic — results are pure
         // functions of the seeds, so nothing is lost).
         realization.reset();
+        session_metrics().budget_fallbacks.inc();
+        span.field("budget_fallback", true);
       }
     }
     results[h] = run_one(options, availability, entry.scenario, entry.estimator,
                          heuristics[h], trial, nullptr);
   }
+  if (metered) {
+    session_metrics().unit_us.observe(obs::steady_now_us() - t_start);
+  }
+  span.field("replayed", static_cast<std::uint64_t>(replayed));
+  span.field("live", static_cast<std::uint64_t>(heuristics.size() - replayed));
   return results;
 }
 
@@ -277,7 +396,9 @@ Session::RunStats Session::run(const ExperimentSpec& spec,
         {
           // One lock hold per unit: the unit's rows reach sinks
           // contiguously, in heuristic order (the documented row-ordering
-          // guarantee), and progress ticks once per unit.
+          // guarantee), and progress ticks once per unit. The timer covers
+          // the mutex wait too — emit contention is what it is for.
+          const obs::ScopedTimer timer(session_metrics().emit_us);
           const std::lock_guard<std::mutex> lock(emit_mutex);
           for (std::size_t h = 0; h < heuristics.size(); ++h) {
             ResultRow row;

@@ -220,6 +220,15 @@ class Session {
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
+  /// Point-in-time scrape of the process-wide obs registry (obs::configure
+  /// gates whether anything was counted). Session-level so benches and
+  /// drivers read engine/session/chain-store series without touching the
+  /// registry directly; the serve daemon's `metrics` verb is the same
+  /// snapshot over the wire. Safe from any thread at any time.
+  [[nodiscard]] static obs::Snapshot scrape() {
+    return obs::Registry::instance().snapshot();
+  }
+
  private:
   /// A scenario instantiated together with its estimator (the estimator
   /// holds references into the scenario, so they live and die together).

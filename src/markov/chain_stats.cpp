@@ -6,7 +6,29 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace tcgrid::markov {
+
+namespace {
+
+struct StoreMetrics {
+  obs::Histogram intern_us;   ///< intern() latency (hits and misses)
+  obs::Histogram grow_us;     ///< survival-table extension latency (misses only)
+  obs::Counter retirements;   ///< survival arrays retired by grow-copy
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m = [] {
+    obs::Registry& reg = obs::Registry::instance();
+    return StoreMetrics{reg.histogram("tcgrid_chainstats_intern_us"),
+                        reg.histogram("tcgrid_chainstats_survival_grow_us"),
+                        reg.counter("tcgrid_chainstats_retired_arrays_total")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 // ----------------------------------------------------------- ChainSurvival ----
 
@@ -26,7 +48,10 @@ void ChainSurvival::reserve_for(long n) {
   // lock-free readers can already be dereferencing. The old array is
   // retired, not freed — readers (and pointers cached after an earlier
   // acquire) may still hold it.
-  if (write_ != nullptr) std::copy(write_, write_ + n, next.get());
+  if (write_ != nullptr) {
+    std::copy(write_, write_ + n, next.get());
+    store_metrics().retirements.inc();
+  }
   arrays_.push_back(std::move(next));
   write_ = arrays_.back().get();
   capacity_ = cap;
@@ -49,6 +74,9 @@ double ChainSurvival::grow_to(long t) {
   // remaining slots) extend the table to millions of explicit zeros and
   // dominate whole sweeps.
   if (n > 0 && write_[n - 1] == 0.0) return 0.0;
+  // Past the published/zero-cap fast paths: everything below is real append
+  // work, the latency this histogram is for.
+  const obs::ScopedTimer timer(store_metrics().grow_us);
   if (n == 0) {
     reserve_for(0);
     write_[0] = 1.0;  // t = 0; row_ is e_U already
@@ -93,6 +121,7 @@ std::array<std::uint64_t, 4> ChainStatsStore::content_key(
 }
 
 ChainId ChainStatsStore::intern(const UrMatrix& m) {
+  const obs::ScopedTimer timer(store_metrics().intern_us);
   const auto key = content_key(m);
   const std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = by_content_.find(key); it != by_content_.end()) {

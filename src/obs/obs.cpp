@@ -1,0 +1,495 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace tcgrid::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Counter: return "counter";
+    case Kind::Gauge: return "gauge";
+    case Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped_label(std::string_view v, std::string& out) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_label_block(const Labels& labels, std::string& out) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped_label(v, out);
+    out += '"';
+  }
+  out += '}';
+}
+
+/// "le" bound rendered for exposition ("+Inf" for the tail bucket).
+std::string le_string(int bucket) {
+  if (bucket >= Histogram::kBuckets - 1) return "+Inf";
+  return std::to_string(Histogram::bucket_le(bucket));
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void configure(const Options& options) {
+  g_enabled.store(options.enabled, std::memory_order_relaxed);
+  Tracer& tracer = Tracer::instance();
+  if (options.trace_path.empty()) tracer.close();
+  else tracer.open(options.trace_path);
+}
+
+std::uint64_t steady_now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------- registry ----
+
+/// One thread's private cell space. Cells live in fixed 4096-cell blocks so
+/// the directory can grow (new metrics, e.g. per-tenant histograms) without
+/// ever moving a cell a writer might be touching: a block, once published,
+/// is immortal and address-stable. The block table itself is a fixed array
+/// of atomic pointers — readers load a slot's block with acquire and never
+/// take the registry mutex.
+struct Registry::Shard {
+  static constexpr std::uint32_t kBlockCells = 4096;
+  static constexpr std::uint32_t kMaxBlocks = 64;  ///< 256Ki cells ≈ 6k histograms
+
+  struct Block {
+    std::array<std::atomic<std::uint64_t>, kBlockCells> cells{};
+  };
+
+  std::array<std::atomic<Block*>, kMaxBlocks> blocks{};
+  /// Leased by exactly one live thread at a time; released (but the counts
+  /// kept) on thread exit, so short-lived serve handler threads reuse
+  /// shards instead of growing the pool without bound.
+  std::atomic<bool> leased{false};
+
+  std::atomic<std::uint64_t>& cell(std::uint32_t slot) {
+    Block* block = blocks[slot / kBlockCells].load(std::memory_order_acquire);
+    return block->cells[slot % kBlockCells];
+  }
+};
+
+struct Registry::Entry {
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::Counter;
+  std::uint32_t base = 0;   ///< first cell slot (counter/histogram)
+  std::uint32_t cells = 0;  ///< cell count (0 for gauges)
+  std::atomic<long long> gauge{0};
+};
+
+struct Registry::Impl {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Entry>> entries;   // stable addresses (gauge cells)
+  std::vector<std::unique_ptr<Shard>> shards;    // stable addresses (leases)
+  std::uint32_t next_slot = 0;
+  std::uint32_t capacity_blocks = 0;  ///< blocks allocated in every shard
+};
+
+Registry::Registry() : impl_(new Impl()) {}
+
+Registry& Registry::instance() {
+  static Registry* reg = new Registry();  // immortal: outlives static handles
+  return *reg;
+}
+
+Registry::Entry& Registry::entry_for(std::string_view name, Labels&& labels,
+                                     Kind kind, std::uint32_t cells_needed) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& entry : impl_->entries) {
+    if (entry->name == name && entry->labels == labels) {
+      if (entry->kind != kind) {
+        throw std::invalid_argument("obs: metric '" + entry->name +
+                                    "' re-registered with a different kind");
+      }
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = std::move(labels);
+  entry->kind = kind;
+  entry->cells = cells_needed;
+  if (cells_needed > 0) {
+    entry->base = impl_->next_slot;
+    impl_->next_slot += cells_needed;
+    const std::uint32_t blocks_needed =
+        (impl_->next_slot + Shard::kBlockCells - 1) / Shard::kBlockCells;
+    if (blocks_needed > Shard::kMaxBlocks) {
+      throw std::length_error("obs: metric cell space exhausted");
+    }
+    // Publish any new blocks into every existing shard before the handle
+    // escapes: a writer can only hold a slot it got from a handle, and the
+    // handle is only returned after this store.
+    for (const auto& shard : impl_->shards) {
+      for (std::uint32_t b = impl_->capacity_blocks; b < blocks_needed; ++b) {
+        shard->blocks[b].store(new Shard::Block(), std::memory_order_release);
+      }
+    }
+    if (blocks_needed > impl_->capacity_blocks) impl_->capacity_blocks = blocks_needed;
+  }
+  impl_->entries.push_back(std::move(entry));
+  return *impl_->entries.back();
+}
+
+Counter Registry::counter(std::string_view name, Labels labels) {
+  Entry& entry = entry_for(name, std::move(labels), Kind::Counter, 1);
+  return Counter(this, entry.base);
+}
+
+Histogram Registry::histogram(std::string_view name, Labels labels) {
+  Entry& entry = entry_for(name, std::move(labels), Kind::Histogram,
+                           static_cast<std::uint32_t>(Histogram::kBuckets) + 2);
+  return Histogram(this, entry.base);
+}
+
+Gauge Registry::gauge(std::string_view name, Labels labels) {
+  Entry& entry = entry_for(name, std::move(labels), Kind::Gauge, 0);
+  return Gauge(&entry.gauge);
+}
+
+Registry::Shard& Registry::local_shard() {
+  // Thread-exit releases the lease but keeps the shard (and its counts):
+  // totals survive worker churn, and the next thread to start counting
+  // reuses the slot instead of growing the pool.
+  struct Lease {
+    Shard* shard = nullptr;
+    Lease() {
+      Registry& reg = Registry::instance();
+      std::lock_guard<std::mutex> lock(reg.impl_->mu);
+      for (const auto& candidate : reg.impl_->shards) {
+        bool expected = false;
+        if (candidate->leased.compare_exchange_strong(expected, true)) {
+          shard = candidate.get();
+          break;
+        }
+      }
+      if (shard == nullptr) {
+        auto fresh = std::make_unique<Shard>();
+        for (std::uint32_t b = 0; b < reg.impl_->capacity_blocks; ++b) {
+          fresh->blocks[b].store(new Shard::Block(), std::memory_order_release);
+        }
+        fresh->leased.store(true, std::memory_order_relaxed);
+        shard = fresh.get();
+        reg.impl_->shards.push_back(std::move(fresh));
+      }
+    }
+    ~Lease() {
+      if (shard != nullptr) shard->leased.store(false, std::memory_order_release);
+    }
+  };
+  thread_local Lease lease;
+  return *lease.shard;
+}
+
+std::atomic<std::uint64_t>& Registry::cell(std::uint32_t slot) {
+  return local_shard().cell(slot);
+}
+
+void Counter::inc(std::uint64_t n) const noexcept {
+  if (reg_ == nullptr || !enabled()) return;
+  reg_->cell(slot_).fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(long long v) const noexcept {
+  if (cell_ == nullptr || !enabled()) return;
+  cell_->store(v, std::memory_order_relaxed);
+}
+
+void Gauge::add(long long d) const noexcept {
+  if (cell_ == nullptr || !enabled()) return;
+  cell_->fetch_add(d, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::uint64_t value) const noexcept {
+  if (reg_ == nullptr || !enabled()) return;
+  Registry::Shard& shard = reg_->local_shard();
+  const auto bucket = static_cast<std::uint32_t>(bucket_of(value));
+  shard.cell(base_ + bucket).fetch_add(1, std::memory_order_relaxed);
+  shard.cell(base_ + kBuckets).fetch_add(1, std::memory_order_relaxed);
+  shard.cell(base_ + kBuckets + 1).fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::merge(const LocalHistogram& local) const noexcept {
+  if (reg_ == nullptr || !enabled() || local.count() == 0) return;
+  Registry::Shard& shard = reg_->local_shard();
+  const auto& buckets = local.buckets();
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[static_cast<std::size_t>(b)] == 0) continue;
+    shard.cell(base_ + static_cast<std::uint32_t>(b))
+        .fetch_add(buckets[static_cast<std::size_t>(b)], std::memory_order_relaxed);
+  }
+  shard.cell(base_ + kBuckets).fetch_add(local.count(), std::memory_order_relaxed);
+  shard.cell(base_ + kBuckets + 1).fetch_add(local.sum(), std::memory_order_relaxed);
+}
+
+Snapshot Registry::snapshot() {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.metrics.reserve(impl_->entries.size());
+  for (const auto& entry : impl_->entries) {
+    MetricSnapshot m;
+    m.name = entry->name;
+    m.labels = entry->labels;
+    m.kind = entry->kind;
+    switch (entry->kind) {
+      case Kind::Gauge:
+        m.gauge = entry->gauge.load(std::memory_order_relaxed);
+        break;
+      case Kind::Counter:
+        for (const auto& shard : impl_->shards) {
+          m.value += shard->cell(entry->base).load(std::memory_order_relaxed);
+        }
+        break;
+      case Kind::Histogram: {
+        m.buckets.assign(static_cast<std::size_t>(Histogram::kBuckets), 0);
+        for (const auto& shard : impl_->shards) {
+          for (int b = 0; b < Histogram::kBuckets; ++b) {
+            m.buckets[static_cast<std::size_t>(b)] +=
+                shard->cell(entry->base + static_cast<std::uint32_t>(b))
+                    .load(std::memory_order_relaxed);
+          }
+          m.count += shard->cell(entry->base + Histogram::kBuckets)
+                         .load(std::memory_order_relaxed);
+          m.sum += shard->cell(entry->base + Histogram::kBuckets + 1)
+                       .load(std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& shard : impl_->shards) {
+    for (std::uint32_t b = 0; b < impl_->capacity_blocks; ++b) {
+      Shard::Block* block = shard->blocks[b].load(std::memory_order_acquire);
+      for (auto& c : block->cells) c.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& entry : impl_->entries) {
+    entry->gauge.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --------------------------------------------------------------- snapshots ----
+
+const MetricSnapshot* Snapshot::find(std::string_view name,
+                                     const Labels& labels) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.labels == labels) return &m;
+  }
+  return nullptr;
+}
+
+util::json::Value Snapshot::to_json() const {
+  util::json::Array out;
+  out.reserve(metrics.size());
+  for (const MetricSnapshot& m : metrics) {
+    util::json::Object obj;
+    obj.emplace_back("name", m.name);
+    util::json::Object labels;
+    for (const auto& [k, v] : m.labels) labels.emplace_back(k, v);
+    obj.emplace_back("labels", std::move(labels));
+    obj.emplace_back("kind", kind_name(m.kind));
+    switch (m.kind) {
+      case Kind::Counter:
+        obj.emplace_back("value", m.value);
+        break;
+      case Kind::Gauge:
+        obj.emplace_back("value", m.gauge);
+        break;
+      case Kind::Histogram: {
+        obj.emplace_back("count", m.count);
+        obj.emplace_back("sum", m.sum);
+        util::json::Array buckets;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          const std::uint64_t n = m.buckets[static_cast<std::size_t>(b)];
+          if (n == 0) continue;
+          util::json::Object bucket;
+          bucket.emplace_back("le", le_string(b));
+          bucket.emplace_back("n", n);
+          buckets.push_back(std::move(bucket));
+        }
+        obj.emplace_back("buckets", std::move(buckets));
+        break;
+      }
+    }
+    out.push_back(std::move(obj));
+  }
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  std::vector<std::string_view> typed;  // names whose # TYPE line is out
+  for (const MetricSnapshot& m : metrics) {
+    bool seen = false;
+    for (const std::string_view t : typed) seen = seen || t == m.name;
+    if (!seen) {
+      out += "# TYPE ";
+      out += m.name;
+      out += ' ';
+      out += kind_name(m.kind);
+      out += '\n';
+      typed.push_back(m.name);
+    }
+    switch (m.kind) {
+      case Kind::Counter:
+      case Kind::Gauge: {
+        out += m.name;
+        append_label_block(m.labels, out);
+        out += ' ';
+        out += m.kind == Kind::Counter ? std::to_string(m.value)
+                                       : std::to_string(m.gauge);
+        out += '\n';
+        break;
+      }
+      case Kind::Histogram: {
+        std::uint64_t cumulative = 0;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          cumulative += m.buckets[static_cast<std::size_t>(b)];
+          // Every non-empty bucket plus the +Inf terminal; empty interior
+          // buckets are elided (cumulative form loses nothing).
+          if (m.buckets[static_cast<std::size_t>(b)] == 0 &&
+              b != Histogram::kBuckets - 1) {
+            continue;
+          }
+          Labels with_le = m.labels;
+          with_le.emplace_back("le", le_string(b));
+          out += m.name;
+          out += "_bucket";
+          append_label_block(with_le, out);
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+        }
+        out += m.name;
+        out += "_sum";
+        append_label_block(m.labels, out);
+        out += ' ';
+        out += std::to_string(m.sum);
+        out += '\n';
+        out += m.name;
+        out += "_count";
+        append_label_block(m.labels, out);
+        out += ' ';
+        out += std::to_string(m.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ tracer ----
+
+struct Tracer::Impl {
+  std::mutex mu;
+  std::ofstream out;
+};
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    t->impl_ = new Impl();
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->out.is_open()) impl_->out.close();
+  impl_->out.open(path, std::ios::app);
+  if (!impl_->out.is_open()) {
+    active_.store(false, std::memory_order_relaxed);
+    throw std::runtime_error("obs: cannot open trace file " + path);
+  }
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::close() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  active_.store(false, std::memory_order_relaxed);
+  if (impl_->out.is_open()) impl_->out.close();
+}
+
+void Tracer::emit(std::string_view event, util::json::Object fields) {
+  if (!active()) return;
+  util::json::Object record;
+  record.reserve(fields.size() + 2);
+  record.emplace_back(
+      "ts_us",
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()));
+  record.emplace_back("ev", std::string(event));
+  for (auto& member : fields) record.push_back(std::move(member));
+  std::string line = util::json::dump(util::json::Value(std::move(record)));
+  line += '\n';
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->out.is_open()) return;  // closed between the check and here
+  impl_->out << line;
+  impl_->out.flush();
+}
+
+// -------------------------------------------------------------------- span ----
+
+Span::Span(std::string_view event)
+    : active_(Tracer::instance().active()), event_(event) {
+  if (active_) start_us_ = steady_now_us();
+}
+
+void Span::field(std::string key, util::json::Value value) {
+  if (!active_) return;
+  fields_.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::finish() {
+  if (!active_) return;
+  active_ = false;
+  const std::uint64_t dur_us = steady_now_us() - start_us_;
+  fields_.emplace_back("us", dur_us);
+  Tracer::instance().emit(event_, std::move(fields_));
+}
+
+}  // namespace tcgrid::obs

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/obs.hpp"
 #include "util/json.hpp"
 
 namespace tcgrid::serve {
@@ -22,6 +23,14 @@ namespace tcgrid::serve {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Durability is the dominant cost of a unit commit — this histogram is the
+/// "checkpoint fsync" series the CI smoke asserts on.
+obs::Histogram& fsync_histogram() {
+  static obs::Histogram h =
+      obs::Registry::instance().histogram("tcgrid_serve_checkpoint_fsync_us");
+  return h;
+}
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -131,13 +140,19 @@ void JobCheckpoint::commit_unit(std::size_t unit, const std::vector<std::string>
     block += '\n';
   }
   write_all_fd(rows_fd_, block, "append rows " + dir_);
-  fsync_or_throw(rows_fd_, dir_ + "/rows.jsonl");
+  {
+    const obs::ScopedTimer timer(fsync_histogram());
+    fsync_or_throw(rows_fd_, dir_ + "/rows.jsonl");
+  }
   // The " ok" suffix makes a commit record self-validating: a torn append
   // of "41 ok\n" can leave "4" or "41 o", neither of which parses as a
   // complete record — a truncated PREFIX of a unit number must never read
   // as a smaller committed unit.
   write_all_fd(units_fd_, std::to_string(unit) + " ok\n", "append units " + dir_);
-  fsync_or_throw(units_fd_, dir_ + "/units.log");
+  {
+    const obs::ScopedTimer timer(fsync_histogram());
+    fsync_or_throw(units_fd_, dir_ + "/units.log");
+  }
 }
 
 void JobCheckpoint::mark_cancelled() {

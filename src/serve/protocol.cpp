@@ -82,4 +82,9 @@ std::string counters_request() {
   return json::dump(json::Value(json::Object{{"op", "counters"}}));
 }
 
+std::string metrics_request(std::string_view format) {
+  return json::dump(
+      json::Value(json::Object{{"op", "metrics"}, {"format", format}}));
+}
+
 }  // namespace tcgrid::serve

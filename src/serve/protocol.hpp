@@ -12,6 +12,7 @@
 //   {"op":"results","job":J,"from":N?,"wait":B?}         -> rows..., end
 //   {"op":"cancel","job":J}                              -> status
 //   {"op":"counters"}                                    -> counters
+//   {"op":"metrics","format":"json"|"prometheus"?}       -> metrics
 //
 // This header holds what both sides share: the identifier grammar, the
 // client-side request builders (used by the client CLI and the protocol
@@ -56,5 +57,9 @@ namespace tcgrid::serve {
                                           bool wait);
 [[nodiscard]] std::string cancel_request(std::string_view job);
 [[nodiscard]] std::string counters_request();
+/// format: "json" (metric objects under "metrics") or "prometheus" (text
+/// exposition as one string under "prometheus" — the protocol is
+/// line-based, so the text rides inside the JSON response).
+[[nodiscard]] std::string metrics_request(std::string_view format = "json");
 
 }  // namespace tcgrid::serve

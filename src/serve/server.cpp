@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "api/spec_json.hpp"
+#include "obs/obs.hpp"
 #include "scen/registry.hpp"
 #include "serve/protocol.hpp"
 
@@ -56,6 +57,11 @@ struct Server::Job {
   std::size_t next_scan = 0;  ///< first possibly-pending unit (scan hint)
 
   std::vector<std::string> rows;  ///< committed rows, completion order
+  /// Publication stamp (steady µs) of rows[i] — what the per-tenant
+  /// results-stream-latency histogram measures against when a `results`
+  /// reader finally pops the row. Loaded rows are stamped at load time.
+  std::vector<std::uint64_t> row_publish_us;
+  obs::Histogram stream_latency_us;  ///< the owning tenant's, copied at registration
 
   std::unique_ptr<JobCheckpoint> ckpt;
   std::mutex io_mutex;  ///< serializes checkpoint commits for this job
@@ -85,6 +91,11 @@ struct Server::Tenant {
   std::size_t jobs = 0;
   std::size_t units_done = 0;
   std::size_t rows = 0;
+
+  // Per-tenant obs series ({"tenant", name}-labelled; DESIGN.md §12).
+  obs::Histogram unit_service_us;    ///< claim -> durable publish, per unit
+  obs::Histogram stream_latency_us;  ///< row publish -> results-reader pop
+  obs::Counter evictions_total;      ///< DRAINING cache evictions
 };
 
 // ------------------------------------------------------------ construction ----
@@ -93,7 +104,17 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   if (options_.root.empty()) {
     throw std::invalid_argument("serve::Server: options.root (checkpoint directory) is required");
   }
+  {
+    obs::Registry& reg = obs::Registry::instance();
+    queue_depth_gauge_ = reg.gauge("tcgrid_serve_queue_depth");
+    inflight_gauge_ = reg.gauge("tcgrid_serve_inflight_units");
+    busy_workers_gauge_ = reg.gauge("tcgrid_serve_busy_workers");
+  }
   load_existing_jobs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    update_fleet_gauges();
+  }
   std::size_t n = options_.threads;
   if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -114,6 +135,13 @@ Server::Tenant& Server::tenant_for(const std::string& name) {
     api::Options session_options;
     session_options.eps = options_.eps;
     tenant->session = std::make_unique<api::Session>(session_options);
+    obs::Registry& reg = obs::Registry::instance();
+    tenant->unit_service_us =
+        reg.histogram("tcgrid_serve_unit_service_us", {{"tenant", name}});
+    tenant->stream_latency_us =
+        reg.histogram("tcgrid_serve_results_stream_latency_us", {{"tenant", name}});
+    tenant->evictions_total =
+        reg.counter("tcgrid_serve_evictions_total", {{"tenant", name}});
     it = tenants_.emplace(name, std::move(tenant)).first;
   }
   return *it->second;
@@ -174,9 +202,13 @@ std::string Server::register_job(const std::string& job_id, const std::string& t
     }
     job->rows = loaded.rows;
   }
+  // Recovered rows were published "now" as far as this process can tell —
+  // the stamp vector must index 1:1 with rows for the stream-latency math.
+  job->row_publish_us.assign(job->rows.size(), obs::steady_now_us());
 
   std::lock_guard<std::mutex> lock(mu_);
   Tenant& tenant = tenant_for(tenant_name);
+  job->stream_latency_us = tenant.stream_latency_us;
   tenant.jobs += 1;
   tenant.units_done += job->units_done;
   tenant.rows += job->rows.size();
@@ -189,9 +221,33 @@ std::string Server::register_job(const std::string& job_id, const std::string& t
   reserved_ids_.erase(job->id);
   jobs_.emplace(job->id, job);
   job_order_.push_back(job->id);
+  update_fleet_gauges();
   work_cv_.notify_all();
   rows_cv_.notify_all();
   return job->id;
+}
+
+// ----------------------------------------------------------- fleet gauges ----
+
+Server::FleetState Server::fleet_state() const {
+  FleetState fs;
+  for (const auto& [id, job] : jobs_) {
+    if (job->terminal()) continue;
+    fs.inflight_units += job->inflight;
+    if (!job->cancel_requested) {
+      fs.queue_depth += job->units_total - job->units_done - job->inflight;
+    }
+  }
+  fs.busy_workers = busy_workers_;
+  return fs;
+}
+
+void Server::update_fleet_gauges() {
+  if (!obs::enabled()) return;
+  const FleetState fs = fleet_state();
+  queue_depth_gauge_.set(static_cast<long long>(fs.queue_depth));
+  inflight_gauge_.set(static_cast<long long>(fs.inflight_units));
+  busy_workers_gauge_.set(static_cast<long long>(fs.busy_workers));
 }
 
 // ------------------------------------------------------------ worker fleet ----
@@ -214,6 +270,12 @@ std::shared_ptr<Server::Job> Server::claim_unit(std::size_t& unit_out) {
       tenant.session->clear_caches();
       tenant.draining = false;
       tenant.evictions += 1;
+      tenant.evictions_total.inc();
+      if (obs::Tracer::instance().active()) {
+        obs::Tracer::instance().emit(
+            "serve_evict", {{"tenant", tenant.name},
+                            {"eviction", static_cast<unsigned long long>(tenant.evictions)}});
+      }
     }
     while (job->next_scan < job->units_total &&
            job->unit_state[job->next_scan] != Job::kPending) {
@@ -253,7 +315,10 @@ void Server::worker_loop() {
         return job != nullptr;
       });
       if (stopping_) return;
+      busy_workers_ += 1;
+      update_fleet_gauges();
     }
+    const std::uint64_t claimed_us = obs::enabled() ? obs::steady_now_us() : 0;
 
     const std::size_t sc = unit / job->trials;
     const int trial = static_cast<int>(unit % job->trials);
@@ -295,7 +360,11 @@ void Server::worker_loop() {
         failed = true;
         error = std::string("checkpoint write failed: ") + e.what();
       }
+      // Unit service time: claim to durable commit (the fsync is in; the
+      // rows become visible to readers a few instructions later).
+      std::uint64_t service_us = 0;
       if (!failed) {
+        if (claimed_us != 0) service_us = obs::steady_now_us() - claimed_us;
         // Publish while still holding io_mutex so the in-memory row order
         // matches rows.jsonl's commit order exactly — `results --from=N`
         // offsets must index the same sequence before and after a daemon
@@ -303,11 +372,17 @@ void Server::worker_loop() {
         std::lock_guard<std::mutex> lock(mu_);
         job->inflight -= 1;
         tenant.inflight -= 1;
+        busy_workers_ -= 1;
         job->unit_state[unit] = Job::kDone;
         job->units_done += 1;
-        for (std::string& row : unit_rows) job->rows.push_back(std::move(row));
+        const std::uint64_t now_us = obs::steady_now_us();
+        for (std::string& row : unit_rows) {
+          job->rows.push_back(std::move(row));
+          job->row_publish_us.push_back(now_us);
+        }
         tenant.units_done += 1;
         tenant.rows += unit_rows.size();
+        if (claimed_us != 0) tenant.unit_service_us.observe(service_us);
         if (job->units_done == job->units_total && !job->terminal()) {
           job->state = Job::State::Done;
         }
@@ -316,11 +391,28 @@ void Server::worker_loop() {
         if (!tenant.draining &&
             tenant.session->chain_store_counters().bytes > tenant.quota.chain_store_bytes) {
           tenant.draining = true;
+          if (obs::Tracer::instance().active()) {
+            obs::Tracer::instance().emit(
+                "serve_drain_start",
+                {{"tenant", tenant.name},
+                 {"chain_store_bytes",
+                  static_cast<unsigned long long>(
+                      tenant.session->chain_store_counters().bytes)}});
+          }
         }
         finalize_if_drained(*job);
+        update_fleet_gauges();
         rows_cv_.notify_all();
         work_cv_.notify_all();
         published = true;
+      }
+      if (published && obs::Tracer::instance().active()) {
+        // Outside mu_: the tracer's file write must not stall the fleet.
+        obs::Tracer::instance().emit(
+            "serve_unit", {{"job", job->id},
+                           {"tenant", job->tenant},
+                           {"unit", static_cast<unsigned long long>(unit)},
+                           {"us", static_cast<unsigned long long>(service_us)}});
       }
     }
 
@@ -328,6 +420,7 @@ void Server::worker_loop() {
       std::lock_guard<std::mutex> lock(mu_);
       job->inflight -= 1;
       tenant.inflight -= 1;
+      busy_workers_ -= 1;
       if (!job->terminal()) {
         job->state = Job::State::Failed;
         job->error = error;
@@ -335,6 +428,7 @@ void Server::worker_loop() {
       job->unit_state[unit] = Job::kPending;  // dropped, not committed
       job->next_scan = std::min(job->next_scan, unit);
       finalize_if_drained(*job);
+      update_fleet_gauges();
       rows_cv_.notify_all();
       work_cv_.notify_all();
     }
@@ -473,6 +567,7 @@ std::string Server::handle_cancel(const json::Value& req) {
       job->cancel_requested = true;
       applied = true;
       finalize_if_drained(*job);
+      update_fleet_gauges();  // the job's pending units left the queue
       work_cv_.notify_all();
     }
   }
@@ -526,13 +621,48 @@ std::string Server::handle_counters() {
              }},
         });
   }
+  const FleetState fs = fleet_state();
   return json::dump(json::Object{
       {"ok", true},
       {"type", "counters"},
       {"threads", static_cast<unsigned long long>(workers_.size())},
       {"jobs", static_cast<unsigned long long>(jobs_.size())},
+      {"fleet",
+       json::Object{
+           {"queue_depth", static_cast<unsigned long long>(fs.queue_depth)},
+           {"inflight_units", static_cast<unsigned long long>(fs.inflight_units)},
+           {"busy_workers", static_cast<unsigned long long>(fs.busy_workers)},
+       }},
       {"tenants", std::move(tenants)},
   });
+}
+
+std::string Server::handle_metrics(const json::Value& req) {
+  std::string format = "json";
+  if (const json::Value* format_v = req.find("format"); format_v != nullptr) {
+    if (!format_v->is_string()) {
+      return error_line("format: expected \"json\" or \"prometheus\"");
+    }
+    format = format_v->as_string();
+  }
+  if (format != "json" && format != "prometheus") {
+    return error_line("format: expected \"json\" or \"prometheus\"");
+  }
+  {
+    // Gauges are refreshed at dispatch/publish transitions; refresh once
+    // more here so an idle daemon's scrape still reads current depths.
+    std::lock_guard<std::mutex> lock(mu_);
+    update_fleet_gauges();
+  }
+  const obs::Snapshot snap = obs::Registry::instance().snapshot();
+  json::Object response{
+      {"ok", true}, {"type", "metrics"}, {"enabled", obs::enabled()}, {"format", format}};
+  if (format == "prometheus") {
+    response.emplace_back("prometheus", snap.to_prometheus());
+  } else {
+    response.emplace_back("metrics", snap.to_json());
+  }
+  return json::dump(std::move(response));
 }
 
 void Server::handle_results(const json::Value& req, util::LineChannel& ch) {
@@ -579,6 +709,16 @@ void Server::handle_results(const json::Value& req, util::LineChannel& ch) {
         rows_cv_.wait(lock, [&] {
           return stopping_ || from < job->rows.size() || job->terminal();
         });
+      }
+      if (obs::enabled() && from < job->rows.size()) {
+        // Stream latency: row publication to this reader popping it. One
+        // clock read per batch; stamps and rows index 1:1 by construction.
+        const std::uint64_t now_us = obs::steady_now_us();
+        const std::size_t upto =
+            std::min(job->rows.size(), from + (kResultsBatch - batch.size()));
+        for (std::size_t i = from; i < upto && i < job->row_publish_us.size(); ++i) {
+          job->stream_latency_us.observe(now_us - job->row_publish_us[i]);
+        }
       }
       while (from < job->rows.size() && batch.size() < kResultsBatch) {
         batch.push_back(job->rows[from++]);
@@ -636,6 +776,7 @@ void Server::serve_connection(int fd) {
     else if (name == "status") response = handle_status(req);
     else if (name == "cancel") response = handle_cancel(req);
     else if (name == "counters") response = handle_counters();
+    else if (name == "metrics") response = handle_metrics(req);
     else response = error_line("op: unknown op '" + name + "'");
     if (!ch.write_line(response)) return;
   }

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "obs/obs.hpp"
 #include "serve/checkpoint.hpp"
 #include "util/json.hpp"
 #include "util/socket.hpp"
@@ -136,6 +137,7 @@ class Server {
   std::string handle_status(const util::json::Value& req);
   std::string handle_cancel(const util::json::Value& req);
   std::string handle_counters();
+  std::string handle_metrics(const util::json::Value& req);
   void handle_results(const util::json::Value& req, util::LineChannel& ch);
 
   std::string register_job(const std::string& job_id, const std::string& tenant_name,
@@ -143,6 +145,19 @@ class Server {
                            bool fresh);
   Tenant& tenant_for(const std::string& name);  ///< caller holds mu_
   std::string status_line(const Job& job) const;
+
+  /// Live fleet/scheduling state, computed under mu_ (caller holds it):
+  /// the counters `fleet` block and the obs gauges read the same numbers.
+  struct FleetState {
+    std::size_t queue_depth = 0;     ///< pending units of dispatchable jobs
+    std::size_t inflight_units = 0;  ///< claimed, not yet committed
+    std::size_t busy_workers = 0;    ///< workers currently inside a unit
+  };
+  [[nodiscard]] FleetState fleet_state() const;
+  /// Push fleet_state() into the obs gauges (caller holds mu_). Called at
+  /// every dispatch/publish transition, so a scrape between transitions
+  /// reads current depths without taking mu_.
+  void update_fleet_gauges();
 
   ServerOptions options_;
 
@@ -156,7 +171,13 @@ class Server {
   std::set<std::string> reserved_ids_;  ///< submit in progress, not yet in jobs_
   std::size_t rr_cursor_ = 0;
   std::size_t next_job_number_ = 1;
+  std::size_t busy_workers_ = 0;  ///< workers between claim and publish
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+
+  // Fleet-level gauges (registered once in the constructor; set under mu_).
+  obs::Gauge queue_depth_gauge_;
+  obs::Gauge inflight_gauge_;
+  obs::Gauge busy_workers_gauge_;
 
   std::vector<std::thread> workers_;
   /// Connection handlers run detached; hard_stop() shuts their sockets down

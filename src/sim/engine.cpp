@@ -76,6 +76,7 @@ Engine::Engine(const platform::Platform& platform, const model::Application& app
 SimulationResult Engine::run() {
   result_ = {};
   current_iter_ = {};
+  telem_ = {};
   trace_.clear();
   iteration_start_ = 0;
   consults_ = 0;
@@ -110,6 +111,7 @@ SimulationResult Engine::run() {
 }
 
 void Engine::step_slot() {
+  ++telem_.per_slot_steps;
   refresh_states();
   // Action annotations only feed the trace; when tracing is off every write
   // to actions_ below is skipped (each site checks record_trace).
@@ -582,8 +584,10 @@ void Engine::fast_forward() {
       // re-sort by remaining need every slot: both fall back to per-slot.
       if (kind == Quiescence::Kind::WhileConfigured &&
           options_.comm_order == CommOrder::Enrollment && !options_.record_trace) {
+        const long before = slot_;
         if (jump) advance_comm_jump();
         else advance_comm_run();
+        note_bulk_advance(telem_.bulk_runs_comm, telem_.bulk_slots_comm, before, jump);
       }
       return;
     }
@@ -595,16 +599,31 @@ void Engine::fast_forward() {
     if (kind != Quiescence::Kind::WhileConfigured && !decision_no_change_) return;
     // Enrolled-RLE stretches only exist for WhileConfigured (other kinds
     // stop at global events, which the row-wise window walk handles best).
-    if (jump && kind == Quiescence::Kind::WhileConfigured) advance_configured_jump();
+    const long before = slot_;
+    const bool jumped = jump && kind == Quiescence::Kind::WhileConfigured;
+    if (jumped) advance_configured_jump();
     else advance_configured_run(kind);
+    note_bulk_advance(telem_.bulk_runs_configured, telem_.bulk_slots_configured,
+                      before, jumped);
   } else {
     // Idle bulk advance: the scheduler just declined to build (no UP
     // capacity). WhileConfigured says nothing about the no-config case.
     if (last_phase_ != Phase::Idle || !decision_no_change_) return;
     if (kind == Quiescence::Kind::WhileConfigured) return;
+    const long before = slot_;
     if (jump) advance_idle_jump(kind);
     else advance_idle_run(kind);
+    note_bulk_advance(telem_.bulk_runs_idle, telem_.bulk_slots_idle, before, jump);
   }
+}
+
+void Engine::note_bulk_advance(long& runs, long& slots, long before, bool jumped) {
+  const long advanced = slot_ - before;
+  if (advanced <= 0) return;
+  ++runs;
+  slots += advanced;
+  if (jumped) ++telem_.replay_jumps;
+  telem_.bulk_advance_slots.observe(static_cast<std::uint64_t>(advanced));
 }
 
 void Engine::advance_configured_run(Quiescence::Kind kind) {

@@ -95,6 +95,11 @@ class Engine {
   /// only at event slots).
   [[nodiscard]] long consults() const noexcept { return consults_; }
 
+  /// Execution-strategy tallies of the last run() (reset at each run start).
+  /// Observability only — see RunTelemetry for why this is not part of
+  /// SimulationResult.
+  [[nodiscard]] const RunTelemetry& telemetry() const noexcept { return telem_; }
+
  private:
   /// What the just-processed slot did (drives fast-forward eligibility).
   enum class Phase : unsigned char {
@@ -119,6 +124,9 @@ class Engine {
 
   // --- event-horizon fast path (DESIGN.md §8) ------------------------------
   void fast_forward();
+  /// Tally one bulk advance that moved slot_ from `before` to its current
+  /// value into the given run/slot telemetry pair (no-op for zero-length).
+  void note_bulk_advance(long& runs, long& slots, long before, bool jumped);
   void advance_configured_run(Quiescence::Kind kind);
   void advance_comm_run();
   void advance_idle_run(Quiescence::Kind kind);
@@ -223,6 +231,7 @@ class Engine {
   SimulationResult result_;
   IterationStats current_iter_;
   ActivityTrace trace_;
+  RunTelemetry telem_;
 };
 
 }  // namespace tcgrid::sim

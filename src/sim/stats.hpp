@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace tcgrid::sim {
 
 /// Breakdown of a single completed application iteration.
@@ -28,6 +30,27 @@ struct SimulationResult {
   long total_restarts = 0;
   long total_reconfigurations = 0;
   long idle_slots = 0;  ///< slots with no configuration in place
+};
+
+/// Execution-strategy telemetry for one Engine::run() (Engine::telemetry()).
+///
+/// Observability ONLY — deliberately NOT part of SimulationResult or
+/// IterationStats: the bench digest gates (bench_common.hpp DigestSink)
+/// hash every result field and require bit-identity across fast-forward
+/// on/off and replay/live, while these tallies are a property of HOW the
+/// run executed (per-slot steps vs bulk runs vs replay jumps) and differ
+/// structurally between the strategies even though the results agree.
+struct RunTelemetry {
+  long per_slot_steps = 0;        ///< slots taken by the per-slot loop
+  long bulk_runs_comm = 0;        ///< comm-phase bulk advances
+  long bulk_runs_configured = 0;  ///< compute/suspended bulk advances
+  long bulk_runs_idle = 0;        ///< idle bulk advances
+  long bulk_slots_comm = 0;       ///< slots covered by those advances…
+  long bulk_slots_configured = 0;
+  long bulk_slots_idle = 0;
+  long replay_jumps = 0;  ///< bulk advances taken via digest-bitset jumps
+  /// Length distribution of every bulk advance (slots per advance).
+  obs::LocalHistogram bulk_advance_slots;
 };
 
 }  // namespace tcgrid::sim

@@ -1,0 +1,292 @@
+// tcgrid::obs registry and tracer tests.
+//
+// The concurrency tests are the contract the serve daemon leans on: many
+// writer threads hammering shared handles while a scraper snapshots
+// mid-flight must never tear a value (cells are 64-bit atomics) and must
+// merge to EXACT totals once the writers join. Run under ASan/UBSan and
+// TSan in CI (TCGRID_SANITIZE=ON / =thread).
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+
+namespace obs = tcgrid::obs;
+namespace json = tcgrid::util::json;
+
+namespace {
+
+/// Each test runs with obs enabled and a zeroed registry; disabled again on
+/// exit so unrelated tests keep the (default) disabled hot path.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::configure({.enabled = true});
+    obs::Registry::instance().reset_values();
+  }
+  void TearDown() override { obs::configure({.enabled = false}); }
+};
+
+TEST_F(ObsTest, CounterCountsAndSnapshotFinds) {
+  obs::Counter c = obs::Registry::instance().counter("obs_test_basic_total");
+  c.inc();
+  c.inc(41);
+  const obs::Snapshot snap = obs::Registry::instance().snapshot();
+  const obs::MetricSnapshot* m = snap.find("obs_test_basic_total");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, obs::Kind::Counter);
+  EXPECT_EQ(m->value, 42u);
+}
+
+TEST_F(ObsTest, RegistrationIsIdempotentByNameAndLabels) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter a = reg.counter("obs_test_idem_total", {{"t", "x"}});
+  obs::Counter b = reg.counter("obs_test_idem_total", {{"t", "x"}});
+  obs::Counter other = reg.counter("obs_test_idem_total", {{"t", "y"}});
+  a.inc();
+  b.inc();
+  other.inc(7);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("obs_test_idem_total", {{"t", "x"}})->value, 2u);
+  EXPECT_EQ(snap.find("obs_test_idem_total", {{"t", "y"}})->value, 7u);
+  EXPECT_THROW(reg.histogram("obs_test_idem_total", {{"t", "x"}}),
+               std::invalid_argument);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  obs::Gauge g = obs::Registry::instance().gauge("obs_test_depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(obs::Registry::instance().snapshot().find("obs_test_depth")->gauge, 7);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // Bucket 0 = {0}; bucket b>0 = [2^(b-1), 2^b - 1]; tail absorbs the rest.
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3);
+  EXPECT_EQ(obs::Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(obs::Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(obs::Histogram::bucket_of(~0ull), obs::Histogram::kBuckets - 1);
+  EXPECT_EQ(obs::Histogram::bucket_le(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_le(2), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_le(obs::Histogram::kBuckets - 1), ~0ull);
+}
+
+TEST_F(ObsTest, HistogramObserveAndMergeAgree) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Histogram direct = reg.histogram("obs_test_direct_us");
+  obs::Histogram merged = reg.histogram("obs_test_merged_us");
+  obs::LocalHistogram local;
+  const std::uint64_t values[] = {0, 1, 5, 5, 129, 4096, 1u << 20};
+  for (const std::uint64_t v : values) {
+    direct.observe(v);
+    local.observe(v);
+  }
+  merged.merge(local);
+  const obs::Snapshot snap = reg.snapshot();
+  const obs::MetricSnapshot* d = snap.find("obs_test_direct_us");
+  const obs::MetricSnapshot* m = snap.find("obs_test_merged_us");
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(d->count, 7u);
+  EXPECT_EQ(d->sum, m->sum);
+  EXPECT_EQ(d->buckets, m->buckets);
+}
+
+TEST_F(ObsTest, DisabledUpdatesAreDropped) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter c = reg.counter("obs_test_gate_total");
+  obs::Histogram h = reg.histogram("obs_test_gate_us");
+  obs::configure({.enabled = false});
+  c.inc(100);
+  h.observe(100);
+  obs::configure({.enabled = true});
+  c.inc(1);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("obs_test_gate_total")->value, 1u);
+  EXPECT_EQ(snap.find("obs_test_gate_us")->count, 0u);
+}
+
+// The load-bearing test: writers on shared handles from many threads, a
+// scraper snapshotting continuously, merged totals exact at join.
+TEST_F(ObsTest, ConcurrentUpdatesMergeExactlyAndScrapesNeverTear) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter counter = reg.counter("obs_test_mt_total");
+  obs::Histogram hist = reg.histogram("obs_test_mt_us");
+  obs::Gauge gauge = reg.gauge("obs_test_mt_inflight");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+
+  std::thread scraper([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::Snapshot snap = reg.snapshot();
+      const obs::MetricSnapshot* c = snap.find("obs_test_mt_total");
+      const obs::MetricSnapshot* h = snap.find("obs_test_mt_us");
+      ASSERT_NE(c, nullptr);
+      ASSERT_NE(h, nullptr);
+      // Monotone (counters only go up) and bounded — a torn 64-bit read
+      // would blow past the writers' ceiling.
+      ASSERT_GE(c->value, last);
+      ASSERT_LE(c->value, kThreads * kPerThread);
+      ASSERT_LE(h->count, kThreads * kPerThread);
+      last = c->value;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        hist.observe(i % 1024);
+        if (i % 256 == 0) gauge.add(t % 2 == 0 ? 1 : -1);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("obs_test_mt_total")->value, kThreads * kPerThread);
+  const obs::MetricSnapshot* h = snap.find("obs_test_mt_us");
+  EXPECT_EQ(h->count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h->count);
+  EXPECT_EQ(snap.find("obs_test_mt_inflight")->gauge, 0);
+}
+
+// Registration racing updates: threads register fresh per-thread metrics
+// (growing the cell space) while others hammer pre-existing handles.
+TEST_F(ObsTest, RegistrationDuringUpdatesIsSafe) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter base = reg.counter("obs_test_grow_total");
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::Histogram mine = reg.histogram(
+          "obs_test_grow_us", {{"w", std::to_string(t)}});
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        base.inc();
+        mine.observe(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("obs_test_grow_total")->value, kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    const obs::MetricSnapshot* m =
+        snap.find("obs_test_grow_us", {{"w", std::to_string(t)}});
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->count, kPerThread);
+  }
+}
+
+TEST_F(ObsTest, PrometheusExpositionShape) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("obs_test_prom_total", {{"tenant", "alice"}}).inc(3);
+  reg.gauge("obs_test_prom_depth").set(5);
+  obs::Histogram h = reg.histogram("obs_test_prom_us", {{"tenant", "a\"b"}});
+  h.observe(0);
+  h.observe(3);
+  h.observe(3);
+  const std::string text = obs::Registry::instance().snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE obs_test_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_total{tenant=\"alice\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_depth 5"), std::string::npos);
+  // Escaped label value, cumulative buckets, _sum/_count series.
+  EXPECT_NE(text.find("obs_test_prom_us_bucket{tenant=\"a\\\"b\",le=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_bucket{tenant=\"a\\\"b\",le=\"3\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_bucket{tenant=\"a\\\"b\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_sum{tenant=\"a\\\"b\"} 6"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_count{tenant=\"a\\\"b\"} 3"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExpositionRoundTrips) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("obs_test_json_total").inc(9);
+  obs::Histogram h = reg.histogram("obs_test_json_us");
+  h.observe(100);
+  const json::Value doc =
+      json::parse(json::dump(reg.snapshot().to_json()));
+  ASSERT_TRUE(doc.is_array());
+  bool saw_counter = false;
+  bool saw_hist = false;
+  for (const json::Value& m : doc.as_array()) {
+    const std::string& name = m.find("name")->as_string();
+    if (name == "obs_test_json_total") {
+      saw_counter = true;
+      EXPECT_EQ(m.find("value")->as_uint(), 9u);
+    }
+    if (name == "obs_test_json_us") {
+      saw_hist = true;
+      EXPECT_EQ(m.find("count")->as_uint(), 1u);
+      EXPECT_EQ(m.find("sum")->as_uint(), 100u);
+      ASSERT_EQ(m.find("buckets")->as_array().size(), 1u);
+      EXPECT_EQ(m.find("buckets")->as_array()[0].find("le")->as_string(), "127");
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST_F(ObsTest, TracerWritesCanonicalJsonlAndSpansMeasure) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_trace_test.jsonl";
+  std::remove(path.c_str());
+  obs::configure({.enabled = true, .trace_path = path});
+  {
+    obs::Span span("unit");
+    span.field("tenant", "alice");
+    span.field("unit", 7);
+  }
+  obs::Tracer::instance().emit("evict", {{"tenant", "bob"}});
+  obs::configure({.enabled = true});  // empty trace_path closes the tracer
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  const json::Value span_ev = json::parse(lines[0]);
+  EXPECT_EQ(span_ev.find("ev")->as_string(), "unit");
+  EXPECT_EQ(span_ev.find("tenant")->as_string(), "alice");
+  EXPECT_EQ(span_ev.find("unit")->as_uint(), 7u);
+  ASSERT_NE(span_ev.find("ts_us"), nullptr);
+  ASSERT_NE(span_ev.find("us"), nullptr);  // duration attached on finish
+  const json::Value evict_ev = json::parse(lines[1]);
+  EXPECT_EQ(evict_ev.find("ev")->as_string(), "evict");
+  EXPECT_EQ(evict_ev.find("tenant")->as_string(), "bob");
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, SpanIsInertWhenTracerInactive) {
+  obs::Span span("never");  // tracer closed: every method must be a no-op
+  EXPECT_FALSE(span.active());
+  span.field("k", 1);
+  span.finish();
+}
+
+}  // namespace

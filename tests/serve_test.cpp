@@ -20,6 +20,7 @@
 
 #include "api/api.hpp"
 #include "api/spec_json.hpp"
+#include "obs/obs.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -494,6 +495,97 @@ TEST(Serve, DuplicateJobIdsAreRejected) {
   const json::Value second = client.submit(tiny_spec(), "alice", "myjob");
   EXPECT_FALSE(is_ok(second));
   EXPECT_NE(error_of(second).find("already exists"), std::string::npos);
+}
+
+TEST(Serve, MetricsVerbReportsPerTenantSeries) {
+  // The metrics verb is the acceptance surface of the obs layer: two
+  // tenants run a full sweep each, and the scrape must carry per-tenant
+  // unit-service histograms with EXACT unit counts plus the fleet gauges
+  // and checkpoint fsync series the CI smoke asserts on.
+  tcgrid::obs::configure({.enabled = true});
+  tcgrid::obs::Registry::instance().reset_values();
+
+  serve::ServerOptions opts;
+  opts.root = fresh_root("metrics");
+  opts.threads = 2;
+  {
+    serve::Server server(opts);
+    Client client(server);
+
+    const api::ExperimentSpec spec = tiny_spec();  // 8 units per job
+    const json::Value ack_a = client.submit(spec, "ten-a");
+    ASSERT_TRUE(is_ok(ack_a)) << error_of(ack_a);
+    const json::Value ack_b = client.submit(spec, "ten-b");
+    ASSERT_TRUE(is_ok(ack_b)) << error_of(ack_b);
+    ASSERT_TRUE(server.wait_job(ack_a.find("job")->as_string()).has_value());
+    ASSERT_TRUE(server.wait_job(ack_b.find("job")->as_string()).has_value());
+    // Pop every row so the stream-latency series gets populated too.
+    const auto [rows_a, end_a] = client.stream_results(ack_a.find("job")->as_string());
+    EXPECT_EQ(rows_a.size(), 16u);
+
+    const json::Value resp = client.roundtrip(serve::metrics_request());
+    ASSERT_TRUE(is_ok(resp)) << error_of(resp);
+    EXPECT_EQ(resp.find("type")->as_string(), "metrics");
+    EXPECT_TRUE(resp.find("enabled")->as_bool());
+    const json::Value* metrics = resp.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->is_array());
+
+    const auto find_metric = [&](const std::string& name,
+                                 const std::string& tenant) -> const json::Value* {
+      for (const json::Value& m : metrics->as_array()) {
+        if (m.find("name")->as_string() != name) continue;
+        const json::Value* labels = m.find("labels");
+        const json::Value* t = labels != nullptr ? labels->find("tenant") : nullptr;
+        if (tenant.empty() && (t == nullptr)) return &m;
+        if (t != nullptr && t->as_string() == tenant) return &m;
+      }
+      return nullptr;
+    };
+
+    // Per-tenant unit service histograms: exactly 8 observed units each.
+    for (const char* tenant : {"ten-a", "ten-b"}) {
+      const json::Value* h = find_metric("tcgrid_serve_unit_service_us", tenant);
+      ASSERT_NE(h, nullptr) << "no unit_service series for " << tenant;
+      EXPECT_EQ(h->find("kind")->as_string(), "histogram");
+      EXPECT_EQ(h->find("count")->as_uint(), 8u) << tenant;
+    }
+    // Stream latency: ten-a's 16 rows were popped above; ten-b's were not.
+    const json::Value* lat =
+        find_metric("tcgrid_serve_results_stream_latency_us", "ten-a");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->as_uint(), 16u);
+    // Fleet gauges exist and read an idle fleet.
+    const json::Value* depth = find_metric("tcgrid_serve_queue_depth", "");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_EQ(depth->find("kind")->as_string(), "gauge");
+    EXPECT_EQ(depth->find("value")->as_int(), 0);
+    const json::Value* inflight = find_metric("tcgrid_serve_inflight_units", "");
+    ASSERT_NE(inflight, nullptr);
+    EXPECT_EQ(inflight->find("value")->as_int(), 0);
+    // Checkpoint durability: 2 fsyncs per committed unit, 16 units total.
+    const json::Value* fsync = find_metric("tcgrid_serve_checkpoint_fsync_us", "");
+    ASSERT_NE(fsync, nullptr);
+    EXPECT_EQ(fsync->find("count")->as_uint(), 32u);
+
+    // Prometheus form carries the same series as text exposition.
+    const json::Value prom = client.roundtrip(serve::metrics_request("prometheus"));
+    ASSERT_TRUE(is_ok(prom)) << error_of(prom);
+    const std::string text = prom.find("prometheus")->as_string();
+    EXPECT_NE(text.find("# TYPE tcgrid_serve_unit_service_us histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("tcgrid_serve_unit_service_us_count{tenant=\"ten-a\"} 8"),
+              std::string::npos);
+    EXPECT_NE(text.find("tcgrid_serve_unit_service_us_count{tenant=\"ten-b\"} 8"),
+              std::string::npos);
+    EXPECT_NE(text.find("tcgrid_serve_queue_depth 0"), std::string::npos);
+
+    // Bad format names the field.
+    const json::Value bad = client.roundtrip(serve::metrics_request("xml"));
+    EXPECT_FALSE(is_ok(bad));
+    EXPECT_NE(error_of(bad).find("format"), std::string::npos);
+  }
+  tcgrid::obs::configure({});
 }
 
 }  // namespace

@@ -8,10 +8,17 @@
 // Usage:
 //   tcgrid_serve --socket /tmp/tcgrid.sock --root /var/lib/tcgrid \
 //                [--threads N] [--eps 1e-6] \
-//                [--default-quota RB:CB] [--quota tenant=RB:CB]...
+//                [--default-quota RB:CB] [--quota tenant=RB:CB]... \
+//                [--no-obs] [--trace PATH]
 //
 // RB:CB are the per-tenant realization-budget and chain-store-bytes quotas,
 // as byte counts with an optional k/m/g suffix (e.g. 64m:512m).
+//
+// Observability (DESIGN.md §12) is ON by default in the daemon — the
+// `metrics` verb is the point of running one — and its enabled-path cost is
+// within the measured <2% budget; --no-obs turns the update hot paths off
+// (the verb still answers, with zero-valued series). --trace appends one
+// canonical-JSON line per span/event to PATH.
 //
 // SIGINT/SIGTERM stop the daemon cleanly (in-flight units are abandoned,
 // not committed — exactly the kill -9 contract, just politer to the
@@ -28,6 +35,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "util/socket.hpp"
 
@@ -41,7 +49,9 @@ using tcgrid::serve::TenantQuota;
   std::fprintf(stderr,
                "usage: %s --socket PATH --root DIR [--threads N] [--eps X]\n"
                "          [--default-quota RB:CB] [--quota tenant=RB:CB]...\n"
-               "  RB:CB = realization-budget : chain-store bytes, optional k/m/g suffix\n",
+               "          [--no-obs] [--trace PATH]\n"
+               "  RB:CB = realization-budget : chain-store bytes, optional k/m/g suffix\n"
+               "  --no-obs disables metric updates; --trace appends span events to PATH\n",
                argv0);
   std::exit(2);
 }
@@ -78,6 +88,8 @@ TenantQuota parse_quota(const std::string& s) {
 int main(int argc, char** argv) {
   std::string socket_path;
   ServerOptions options;
+  tcgrid::obs::Options obs_options;
+  obs_options.enabled = true;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -97,13 +109,17 @@ int main(int argc, char** argv) {
           throw std::invalid_argument("--quota expects tenant=RB:CB, got '" + v + "'");
         }
         options.tenant_quotas[v.substr(0, eq)] = parse_quota(v.substr(eq + 1));
-      } else usage(argv[0]);
+      }
+      else if (arg == "--no-obs") obs_options.enabled = false;
+      else if (arg == "--trace") obs_options.trace_path = next();
+      else usage(argv[0]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tcgrid_serve: %s\n", e.what());
     return 2;
   }
   if (socket_path.empty() || options.root.empty()) usage(argv[0]);
+  tcgrid::obs::configure(obs_options);
 
   // Block the stop signals in every thread (workers inherit the mask); one
   // dedicated thread sigwait()s them and triggers the stop.
