@@ -14,15 +14,7 @@ namespace {
 constexpr std::size_t kMaxCachedSets = std::size_t{1} << 22;
 constexpr std::size_t kMaxMemoizedBuilds = std::size_t{1} << 20;
 
-// Finalizer of splitmix64: full-avalanche mixing of the set bitmask.
-constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
+using detail::mix64;  // shared with the inline front-cache fast paths
 }  // namespace
 
 markov::CoupledStats& Estimator::SetCache::lookup(std::uint64_t key, bool& fresh) {
@@ -41,6 +33,26 @@ markov::CoupledStats& Estimator::SetCache::lookup(std::uint64_t key, bool& fresh
   }
   const auto slot = static_cast<std::size_t>(e.slot);
   return chunks_[slot / kChunk][slot % kChunk];
+}
+
+void Estimator::SetCache::probe(std::span<const std::uint64_t> keys,
+                                const markov::CoupledStats** out) const noexcept {
+  if (table_.empty()) {
+    for (std::size_t i = 0; i < keys.size(); ++i) out[i] = nullptr;
+    return;
+  }
+  const std::size_t mask = table_.size() - 1;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint64_t key = keys[i];
+    std::size_t j = static_cast<std::size_t>(mix64(key)) & mask;
+    while (table_[j].slot >= 0 && table_[j].key != key) j = (j + 1) & mask;
+    if (table_[j].slot < 0) {
+      out[i] = nullptr;
+    } else {
+      const auto slot = static_cast<std::size_t>(table_[j].slot);
+      out[i] = &chunks_[slot / kChunk][slot % kChunk];
+    }
+  }
 }
 
 void Estimator::SetCache::grow() {
@@ -167,6 +179,11 @@ Estimator::Estimator(const platform::Platform& platform, const model::Applicatio
 const markov::CoupledStats& Estimator::set_stats(std::span<const int> set) const {
   std::uint64_t key = 0;
   for (int q : set) key |= std::uint64_t{1} << q;
+  return set_stats_masked(key, set);
+}
+
+const markov::CoupledStats& Estimator::set_stats_masked(
+    std::uint64_t key, std::span<const int> set) const {
   if (set_cache_.size() >= set_cap_) set_cache_.evict();
   bool fresh = false;
   markov::CoupledStats& stats = set_cache_.lookup(key, fresh);
@@ -181,6 +198,11 @@ const markov::CoupledStats& Estimator::set_stats(std::span<const int> set) const
     stats = store_->set_stats(ids);
   }
   return stats;
+}
+
+void Estimator::set_stats_probe(std::span<const std::uint64_t> keys,
+                                const markov::CoupledStats** out) const {
+  set_cache_.probe(keys, out);
 }
 
 double Estimator::expected_comm_time(std::span<const CommNeed> needs) const {

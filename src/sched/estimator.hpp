@@ -43,6 +43,20 @@
 
 namespace tcgrid::sched {
 
+namespace detail {
+/// Finalizer of splitmix64: full-avalanche mixing of cache keys. In the
+/// header so the inline front-cache fast paths and the out-of-line cache
+/// internals hash identically.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace detail
+
 /// Probability of success and expected duration of (the remainder of) an
 /// iteration on a candidate configuration.
 struct IterationEstimate {
@@ -86,6 +100,39 @@ class Estimator {
   /// cap-triggered eviction after it was returned (epoch retirement, see
   /// SetCache::evict) — in practice, for any realistic hold.
   [[nodiscard]] const markov::CoupledStats& set_stats(std::span<const int> set) const;
+
+  /// set_stats with the membership bitmask precomputed by the caller. The
+  /// incremental builder derives each candidate key in O(1) from its round's
+  /// base mask (`base | 1 << q`) instead of re-folding the set per
+  /// candidate; `set` is only read on a front-cache miss. `key` must be the
+  /// bitmask of `set`.
+  [[nodiscard]] const markov::CoupledStats& set_stats_masked(
+      std::uint64_t key, std::span<const int> set) const;
+
+  /// Batched set_stats front-cache probe: out[i] receives the cached entry
+  /// for bitmask keys[i], or nullptr on a front miss (no insertion — resolve
+  /// misses through set_stats_masked). One cache traversal answers the whole
+  /// batch; the hot candidate loops probe all of a decision round's keys at
+  /// once instead of once per trial-and-candidate.
+  void set_stats_probe(std::span<const std::uint64_t> keys,
+                       const markov::CoupledStats** out) const;
+
+  /// Scalar front-cache probe by precomputed bitmask key: the cached entry
+  /// or nullptr (no insertion). Inline fast path for the candidate loop.
+  [[nodiscard]] const markov::CoupledStats* set_stats_cached(
+      std::uint64_t key) const noexcept {
+    return set_cache_.find(key);
+  }
+
+  /// Batched survival probe: out[i] = p_no_down(q, depths[i]) for every i,
+  /// bit-identical to the scalar calls, with the chain's published length
+  /// and flat array acquired once per batch and at most one table growth
+  /// (markov::ChainSurvival::survival_at). This is how a decision round (or
+  /// a trial batch sharing this view) walks the store's flat arrays once
+  /// per batch instead of once per trial.
+  void survival_at(int q, std::span<const long> depths, std::span<double> out) const {
+    surv_of_[static_cast<std::size_t>(q)]->survival_at(depths, out);
+  }
 
   /// Single-worker statistics (used for per-worker communication times).
   /// A per-view copy of the store's per-chain quad — the heavy series math
@@ -203,6 +250,22 @@ class Estimator {
     /// Returns the value slot for `key`, default-constructing it (and
     /// setting `fresh`) on first sight.
     markov::CoupledStats& lookup(std::uint64_t key, bool& fresh);
+    /// Probe-only scalar lookup: the cached value for `key`, or nullptr.
+    /// Never inserts or evicts. Inline: this sits under every candidate
+    /// evaluation of the incremental builder.
+    [[nodiscard]] const markov::CoupledStats* find(std::uint64_t key) const noexcept {
+      if (table_.empty()) return nullptr;
+      const std::size_t mask = table_.size() - 1;
+      std::size_t i = static_cast<std::size_t>(detail::mix64(key)) & mask;
+      while (table_[i].slot >= 0 && table_[i].key != key) i = (i + 1) & mask;
+      if (table_[i].slot < 0) return nullptr;
+      const auto slot = static_cast<std::size_t>(table_[i].slot);
+      return &chunks_[slot / kChunk][slot % kChunk];
+    }
+    /// Probe-only batched lookup: out[i] points at the cached value for
+    /// keys[i], or nullptr when absent. Never inserts or evicts.
+    void probe(std::span<const std::uint64_t> keys,
+               const markov::CoupledStats** out) const noexcept;
     [[nodiscard]] std::size_t size() const noexcept { return size_; }
     /// Same epoch-retired eviction contract as BuildMemo::evict().
     void evict();

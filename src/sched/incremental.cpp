@@ -1,6 +1,7 @@
 #include "sched/incremental.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace tcgrid::sched {
@@ -67,24 +68,76 @@ const BuiltConfiguration& IncrementalBuilder::build_memoized(
   return slot;
 }
 
+// Round-incremental candidate evaluation. The reference semantics — for each
+// of the m placement rounds, score every eligible worker q by
+// Estimator::evaluate over the partial configuration plus one task on q —
+// rebuilt the O(k) needs/set vectors and re-ran the O(k) comm-time max,
+// survival product and set-key fold PER CANDIDATE, making each round O(p*k)
+// even though every candidate shares the same k-member base. The round now
+// precomputes the shared parts once and derives each candidate in O(1),
+// bit-identically to the reference evaluate() calls:
+//   * e_comm: max() over doubles is order-free and exact, so prefix/suffix
+//     maxes over the enrolled order answer "max excluding position i" for
+//     enrolled candidates and the full prefix max answers un-enrolled ones;
+//     the integer slot total is exact in any order.
+//   * p_comm: the survival product IS order-sensitive FP, so the shared base
+//     product over the enrolled order is accumulated in enrollment order —
+//     exactly evaluate()'s in-set factor order — lazily once per distinct
+//     comm horizon t seen in the round, and an un-enrolled candidate appends
+//     its own factor LAST, matching its position in the reference set. An
+//     enrolled candidate's own factor is p_no_down(q, t), independent of its
+//     load, so its product is the base product unchanged.
+//   * set_stats: the candidate key is base_mask | 1 << q (O(1) instead of
+//     re-folding the set), answered by the inline front-cache probe; misses
+//     resolve through the store exactly as before.
+//   * un-enrolled workers with identical (chain, speed, holdings) produce
+//     bitwise-identical estimates and scores; the argmax keeps the first on
+//     ties (strictly-greater test), so later clones are skipped outright.
 BuiltConfiguration IncrementalBuilder::build_fresh(const sim::SchedulerView& view) const {
   const auto& plat = *view.platform;
   const int p = plat.size();
   const int m = view.app->num_tasks;
+  const int ncom = plat.ncom();
 
   auto& loads = loads_;  // per-proc task counts of the partial configuration
   loads.assign(static_cast<std::size_t>(p), 0);
   auto& order = order_;  // enrollment order of workers with >= 1 task
   order.clear();
+  pos_.assign(static_cast<std::size_t>(p), -1);
 
-  // Scratch buffers reused across candidate evaluations.
-  auto& cand_set = cand_set_;
-  auto& cand_needs = cand_needs_;
   IterationEstimate chosen_est{};
-
   long w_current = 0;  // max_q loads[q] * w_q over enrolled workers
+  std::uint64_t base_mask = 0;
 
   for (int task = 0; task < m; ++task) {
+    // Base arrays over the enrolled order: per-member fresh needs and comm
+    // times at the current loads, their prefix/suffix maxes, and the slot
+    // total. Members with zero need contribute 0.0 to the maxes, which the
+    // reference max — started at 0.0 — also ignores.
+    const std::size_t k = order.size();
+    base_slots_.resize(k);
+    base_e_.resize(k);
+    pre_max_.resize(k + 1);
+    suf_max_.resize(k + 1);
+    long total_base = 0;
+    pre_max_[0] = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const int r = order[i];
+      const long slots = fresh_need(view, r, loads[static_cast<std::size_t>(r)]);
+      base_slots_[i] = slots;
+      total_base += slots;
+      base_e_[i] =
+          slots > 0 ? estimator_->proc_stats(r).expected_time(slots) : 0.0;
+      pre_max_[i + 1] = std::max(pre_max_[i], base_e_[i]);
+    }
+    suf_max_[k] = 0.0;
+    for (std::size_t i = k; i-- > 0;) {
+      suf_max_[i] = std::max(suf_max_[i + 1], base_e_[i]);
+    }
+    ts_.clear();        // distinct comm horizons of this round...
+    base_prod_.clear(); // ...and the base survival product at each
+    classes_.clear();
+
     int best = -1;
     double best_score = -std::numeric_limits<double>::infinity();
     IterationEstimate best_est{};
@@ -94,26 +147,76 @@ BuiltConfiguration IncrementalBuilder::build_fresh(const sim::SchedulerView& vie
       if (view.states[qi] != markov::State::Up) continue;
       if (loads[qi] >= plat.proc(q).max_tasks) continue;
 
+      const bool in_order = loads[qi] > 0;
+      if (!in_order) {
+        const CandClass cls{estimator_->chain_id(q), plat.proc(q).speed,
+                            view.holdings[qi].has_program,
+                            view.holdings[qi].data_messages};
+        bool dup = false;
+        for (const CandClass& seen : classes_) {
+          if (seen == cls) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;  // bitwise tie with an earlier candidate: cannot win
+        classes_.push_back(cls);
+      }
+
       // Candidate: one more task on q.
       const int xq = loads[qi] + 1;
       const long wq = plat.proc(q).speed;
       const long w_cand = std::max(w_current, static_cast<long>(xq) * wq);
+      const long slots_q = fresh_need(view, q, xq);
+      const double e_q =
+          slots_q > 0 ? estimator_->proc_stats(q).expected_time(slots_q) : 0.0;
 
-      cand_set.clear();
-      cand_needs.clear();
-      bool q_in_set = false;
-      for (int r : order) {
-        cand_set.push_back(r);
-        const int xr = r == q ? xq : loads[static_cast<std::size_t>(r)];
-        if (r == q) q_in_set = true;
-        cand_needs.push_back({r, fresh_need(view, r, xr)});
+      double e_comm;
+      long total = total_base + slots_q;
+      std::size_t nneeds = k;
+      if (in_order) {
+        const auto i = static_cast<std::size_t>(pos_[qi]);
+        e_comm = std::max(std::max(pre_max_[i], suf_max_[i + 1]), e_q);
+        total -= base_slots_[i];
+      } else {
+        e_comm = std::max(pre_max_[k], e_q);
+        nneeds = k + 1;
       }
-      if (!q_in_set) {
-        cand_set.push_back(q);
-        cand_needs.push_back({q, fresh_need(view, q, xq)});
+      if (static_cast<int>(nneeds) > ncom && total > 0) {
+        e_comm = std::max(
+            e_comm, static_cast<double>(total) / static_cast<double>(ncom));
       }
 
-      const IterationEstimate est = estimator_->evaluate(cand_needs, cand_set, w_cand);
+      double p_comm = 1.0;
+      if (e_comm > 0.0) {
+        const long t = static_cast<long>(std::ceil(e_comm));
+        if (k > 0) {
+          std::size_t j = 0;
+          while (j < ts_.size() && ts_[j] != t) ++j;
+          if (j == ts_.size()) {
+            double base = 1.0;
+            for (int r : order) base *= estimator_->p_no_down(r, t);
+            ts_.push_back(t);
+            base_prod_.push_back(base);
+          }
+          p_comm = base_prod_[j];
+        }
+        if (!in_order) p_comm *= estimator_->p_no_down(q, t);
+      }
+
+      const std::uint64_t key = base_mask | (std::uint64_t{1} << q);
+      const markov::CoupledStats* st = estimator_->set_stats_cached(key);
+      if (st == nullptr) {
+        // Front miss (rare after warm-up): resolve through the store.
+        cand_set_.clear();
+        for (int r : order) cand_set_.push_back(r);
+        if (!in_order) cand_set_.push_back(q);
+        st = &estimator_->set_stats_masked(key, cand_set_);
+      }
+
+      IterationEstimate est;
+      est.p_success = p_comm * st->success_prob(w_cand);
+      est.e_time = e_comm + st->expected_time(w_cand);
       const double score = rule_score(rule_, est, view.iteration_elapsed);
       if (score > best_score) {
         best_score = score;
@@ -124,7 +227,11 @@ BuiltConfiguration IncrementalBuilder::build_fresh(const sim::SchedulerView& vie
 
     if (best < 0) return {};  // not enough UP capacity for all m tasks
     const auto bi = static_cast<std::size_t>(best);
-    if (loads[bi] == 0) order.push_back(best);
+    if (loads[bi] == 0) {
+      pos_[bi] = static_cast<int>(order.size());
+      order.push_back(best);
+      base_mask |= std::uint64_t{1} << best;
+    }
     ++loads[bi];
     w_current = std::max(w_current,
                          static_cast<long>(loads[bi]) * plat.proc(best).speed);

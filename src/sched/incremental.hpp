@@ -69,6 +69,19 @@ class IncrementalBuilder {
  private:
   [[nodiscard]] BuiltConfiguration build_fresh(const sim::SchedulerView& view) const;
 
+  /// Structural identity of an un-enrolled candidate: two UP workers with
+  /// equal chain, speed and holdings produce bitwise-identical estimates and
+  /// scores, so only the first of each class can win the argmax (ties lose
+  /// to the strictly-greater test). Clustered/homogeneous platforms collapse
+  /// whole candidate loops onto a handful of classes.
+  struct CandClass {
+    markov::ChainId chain = 0;
+    long speed = 0;
+    bool has_program = false;
+    int data_messages = 0;
+    bool operator==(const CandClass&) const = default;
+  };
+
   Rule rule_;
   const Estimator* estimator_;
   bool memo_ = true;
@@ -79,7 +92,14 @@ class IncrementalBuilder {
   mutable std::vector<int> loads_;
   mutable std::vector<int> order_;
   mutable std::vector<int> cand_set_;
-  mutable std::vector<Estimator::CommNeed> cand_needs_;
+  mutable std::vector<int> pos_;            // proc -> index in order_ (-1)
+  mutable std::vector<long> base_slots_;    // per order member: fresh need
+  mutable std::vector<double> base_e_;      // per order member: comm time
+  mutable std::vector<double> pre_max_;     // prefix maxes of base comm times
+  mutable std::vector<double> suf_max_;     // suffix maxes of base comm times
+  mutable std::vector<CandClass> classes_;
+  mutable std::vector<long> ts_;            // distinct comm horizons, one round
+  mutable std::vector<double> base_prod_;   // survival product over order_ per t
 };
 
 }  // namespace tcgrid::sched

@@ -1,0 +1,119 @@
+#include "sim/trial_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "platform/realization.hpp"
+
+namespace tcgrid::sim {
+
+namespace {
+
+/// Round width in slots. Rounds bound how far a peeled lane runs alone
+/// before rejoining the batch; 4096 keeps the shared estimator / survival
+/// caches hot across lanes (all B lanes of a cell query the same scenario's
+/// tables within one round) while the per-round horizon pass stays noise.
+/// Any value >= 1 yields identical results — only the interleaving changes.
+constexpr long kRound = 4096;
+
+std::vector<platform::Realization*> realizations_of(
+    const std::vector<TrialBatch::Lane>& lanes) {
+  std::vector<platform::Realization*> out;
+  out.reserve(lanes.size());
+  for (const auto& lane : lanes) out.push_back(lane.realization);
+  return out;
+}
+
+}  // namespace
+
+TrialBatch::TrialBatch(const platform::Platform& platform,
+                       const model::Application& app, std::vector<Lane> lanes,
+                       const EngineOptions& options)
+    : batch_(realizations_of(lanes)), slot_cap_(options.slot_cap) {
+  if (lanes.empty()) throw std::invalid_argument("TrialBatch: no lanes");
+  engines_.reserve(lanes.size());
+  for (const auto& lane : lanes) {
+    if (lane.realization == nullptr || lane.scheduler == nullptr) {
+      throw std::invalid_argument("TrialBatch: null lane");
+    }
+    engines_.push_back(std::make_unique<Engine>(
+        platform, app, *lane.realization, *lane.scheduler, options));
+  }
+}
+
+TrialBatch::Outcome TrialBatch::run(const std::atomic<bool>* stop) {
+  const int b = width();
+  Outcome out;
+  out.results.resize(static_cast<std::size_t>(b));
+  out.completed.assign(static_cast<std::size_t>(b), false);
+  out.budget_exceeded.assign(static_cast<std::size_t>(b), false);
+
+  std::vector<char> active(static_cast<std::size_t>(b), 1);
+  int n_active = b;
+  for (auto& engine : engines_) engine->begin_run();
+
+  // Every active lane stands at the common round base `h`; finished /
+  // budget-blown lanes drop out (ragged tail) and stop constraining the
+  // horizon via RealizationBatch::deactivate.
+  long h = 0;
+  while (n_active > 0) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      out.cancelled = true;
+      break;
+    }
+    ++telem_.batch_rounds;
+    telem_.batch_width.observe(static_cast<std::uint64_t>(n_active));
+
+    const long target = std::min(h + kRound, slot_cap_);
+    const long horizon = batch_.safe_horizon(h, target);
+    const auto& next_changes = batch_.next_changes();
+
+    auto retire = [&](int i, bool budget) {
+      const auto li = static_cast<std::size_t>(i);
+      if (budget) {
+        out.budget_exceeded[li] = true;
+      } else {
+        out.results[li] = engines_[li]->finish_run();
+        out.completed[li] = true;
+      }
+      active[li] = 0;
+      batch_.deactivate(i);
+      --n_active;
+    };
+
+    // Phase 1 — lockstep: every lane crosses the provably-quiet region
+    // [h, horizon) as one bulk advance (no lane's digest bits fire in it).
+    if (horizon > h) {
+      for (int i = 0; i < b; ++i) {
+        const auto li = static_cast<std::size_t>(i);
+        if (!active[li]) continue;
+        try {
+          if (engines_[li]->step_until(horizon)) retire(i, false);
+        } catch (const platform::RealizationBudgetExceeded&) {
+          retire(i, true);
+        }
+      }
+    }
+
+    // Phase 2 — scalar tail: lanes with an availability event (or an
+    // unmaterialized stretch) inside the round run it alone; change-free
+    // lanes just take one more bulk advance to the boundary. All survivors
+    // rejoin at `target`.
+    for (int i = 0; i < b; ++i) {
+      const auto li = static_cast<std::size_t>(i);
+      if (!active[li]) continue;
+      if (next_changes[li] < target) ++telem_.batch_peels;
+      try {
+        if (engines_[li]->step_until(target)) retire(i, false);
+      } catch (const platform::RealizationBudgetExceeded&) {
+        retire(i, true);
+      }
+    }
+
+    h = target;
+    if (h >= slot_cap_) break;  // survivors hit the cap and retired above
+  }
+  return out;
+}
+
+}  // namespace tcgrid::sim

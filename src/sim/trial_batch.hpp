@@ -1,0 +1,92 @@
+// Lockstep trial-batch engine (DESIGN.md §13): replay B trials of one
+// (scenario, heuristic) cell side by side through the resumable Engine API.
+//
+// Each lane owns an ordinary replay-mode Engine over its trial's
+// materialized Realization; the batch drives them in fixed-width rounds:
+//
+//   1. a one-pass batchwide safe horizon over the lanes' digest bitsets
+//      (platform::RealizationBatch::safe_horizon, materialized prefixes
+//      only) finds the largest [h, horizon) every lane is provably
+//      change-free on, and all lanes bulk-advance through it together;
+//   2. lanes whose availability DOES something inside the round — or whose
+//      materialized frontier falls short — are peeled to a scalar tail and
+//      individually stepped to the common round target, rejoining the
+//      batch at the next round boundary.
+//
+// Bit-identity: each lane is a plain Engine whose step_until split is
+// outcome-identical to one run() call (engine.hpp §13 note), lanes share
+// no mutable state except value-transparent caches (estimator memo /
+// survival tables — identical answers whichever lane populates them), and
+// the horizon pass never materializes a slot the lane's own engine would
+// not have pulled. So results AND traces equal B sequential runs, for any
+// width and any round size; tests/batch_test.cpp and the bench_sweep
+// digest gate enforce it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "platform/realization.hpp"
+#include "sim/engine.hpp"
+
+namespace tcgrid::sim {
+
+/// Runs B independent trials of one (scenario, heuristic) cell in lockstep
+/// rounds. Single-threaded: one TrialBatch per worker thread, like the
+/// engines it wraps.
+class TrialBatch {
+ public:
+  /// One trial's replay inputs. Both pointers are non-owning and must
+  /// outlive the batch; the scheduler must be freshly constructed (same
+  /// contract as handing it to an Engine).
+  struct Lane {
+    platform::Realization* realization = nullptr;
+    Scheduler* scheduler = nullptr;
+  };
+
+  /// Per-lane outcomes of one run() call. Exactly one of completed[i] /
+  /// budget_exceeded[i] is set per lane unless the run was cancelled;
+  /// results[i] is meaningful only when completed[i].
+  struct Outcome {
+    std::vector<SimulationResult> results;
+    std::vector<bool> completed;        ///< ran to its natural end
+    std::vector<bool> budget_exceeded;  ///< RealizationBudgetExceeded: the
+                                        ///< lane holds no salvageable state;
+                                        ///< rerun it against live generation
+    bool cancelled = false;             ///< stop flag seen at a round boundary
+  };
+
+  /// `options` applies to every lane (trial_batch itself is ignored here —
+  /// the width is lanes.size()).
+  TrialBatch(const platform::Platform& platform, const model::Application& app,
+             std::vector<Lane> lanes, const EngineOptions& options);
+
+  /// Drive every lane to completion (or until `stop` is raised, checked at
+  /// round boundaries). Callable once per TrialBatch.
+  [[nodiscard]] Outcome run(const std::atomic<bool>* stop = nullptr);
+
+  [[nodiscard]] int width() const noexcept {
+    return static_cast<int>(engines_.size());
+  }
+
+  /// Lane engine (trace / consults / per-lane telemetry access).
+  [[nodiscard]] const Engine& engine(int lane) const {
+    return *engines_[static_cast<std::size_t>(lane)];
+  }
+
+  /// Batch-level execution telemetry: batch_rounds / batch_peels /
+  /// batch_width (stats.hpp). Per-lane engines keep their own ordinary
+  /// tallies; observability only, excluded from every digest.
+  [[nodiscard]] const RunTelemetry& batch_telemetry() const noexcept {
+    return telem_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Engine>> engines_;
+  platform::RealizationBatch batch_;
+  long slot_cap_;
+  RunTelemetry telem_;
+};
+
+}  // namespace tcgrid::sim

@@ -1,0 +1,412 @@
+// Lockstep trial-batch engine (DESIGN.md §13) bit-identity suite:
+//
+//   * sim::TrialBatch reproduces B sequential Engine runs exactly — results
+//     AND per-slot traces — for every heuristic (paper 17 + extensions)
+//     across all four availability families, including a ragged batch
+//     (batch wider than some lanes live) and width 1;
+//   * api::Session::run with options.trial_batch > 1 streams row-for-row
+//     identical sweeps to the sequential executor — ragged trial ranges
+//     (trials % B != 0), B == 1 degenerate, B > trials clamp — preserving
+//     the contiguous unit row-ordering guarantee and the (scenario, trial)
+//     progress/RunStats accounting;
+//   * per-lane budget overflow falls back to live generation without
+//     disturbing the other lanes' artifacts (results still identical);
+//   * cooperative cancellation abandons in-flight batches at a round
+//     boundary — sinks never see a torn range, RunStats reports the
+//     partial unit count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "expt/runner.hpp"
+#include "platform/realization.hpp"
+#include "platform/scenario.hpp"
+#include "platform/semi_markov.hpp"
+#include "scen/scen.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/trial_batch.hpp"
+#include "util/rng.hpp"
+
+namespace tcgrid {
+namespace {
+
+using platform::Realization;
+
+platform::Scenario test_scenario(std::uint64_t seed = 77, int m = 5, long wmin = 2) {
+  platform::ScenarioParams params;
+  params.m = m;
+  params.ncom = 5;
+  params.wmin = wmin;
+  params.seed = seed;
+  return platform::make_scenario(params);
+}
+
+/// The four availability families: the three registered laws plus a scripted
+/// trace registered on first use (same pattern as realization_test.cpp).
+const std::vector<std::string>& families() {
+  static const std::vector<std::string> names = [] {
+    const auto scenario = test_scenario(99);
+    auto src = scen::availability_family("markov")->make_source(
+        scenario.platform, 4242, platform::InitialStates::Stationary);
+    auto timeline =
+        std::make_shared<platform::StateTimeline>(platform::record(*src, 400));
+    scen::register_availability_family(scen::make_trace_family(
+        "batch-trace", scen::TraceFamilyParams{.timeline = std::move(timeline)}));
+    return std::vector<std::string>{"markov", "weibull", "daynight", "batch-trace"};
+  }();
+  return names;
+}
+
+/// Every heuristic make_scheduler accepts: the paper's 17 + the extensions.
+std::vector<std::string> every_heuristic() {
+  std::vector<std::string> names = sched::all_heuristic_names();
+  const auto& ext = sched::extension_heuristic_names();
+  names.insert(names.end(), ext.begin(), ext.end());
+  return names;
+}
+
+void expect_identical_results(const sim::SimulationResult& a,
+                              const sim::SimulationResult& b) {
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.iterations_completed, b.iterations_completed);
+  EXPECT_EQ(a.total_restarts, b.total_restarts);
+  EXPECT_EQ(a.total_reconfigurations, b.total_reconfigurations);
+  EXPECT_EQ(a.idle_slots, b.idle_slots);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    const auto& x = a.iterations[i];
+    const auto& y = b.iterations[i];
+    EXPECT_EQ(x.start_slot, y.start_slot) << "iteration " << i;
+    EXPECT_EQ(x.end_slot, y.end_slot) << "iteration " << i;
+    EXPECT_EQ(x.comm_slots, y.comm_slots) << "iteration " << i;
+    EXPECT_EQ(x.stalled_slots, y.stalled_slots) << "iteration " << i;
+    EXPECT_EQ(x.compute_slots, y.compute_slots) << "iteration " << i;
+    EXPECT_EQ(x.suspended_slots, y.suspended_slots) << "iteration " << i;
+    EXPECT_EQ(x.restarts, y.restarts) << "iteration " << i;
+    EXPECT_EQ(x.reconfigurations, y.reconfigurations) << "iteration " << i;
+  }
+}
+
+void expect_identical_traces(const sim::ActivityTrace& a, const sim::ActivityTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].size(), b[t].size());
+    for (std::size_t q = 0; q < a[t].size(); ++q) {
+      ASSERT_TRUE(a[t][q].state == b[t][q].state && a[t][q].action == b[t][q].action)
+          << "slot " << t << " proc " << q;
+    }
+  }
+}
+
+// ------------------------------------------------------- TrialBatch direct ----
+
+/// One (scenario, heuristic) cell, B trials: the lockstep batch against B
+/// sequential replay engines over identically-seeded realizations. Traces
+/// on, so the comparison covers the per-slot action stream, not just the
+/// aggregate counters.
+void check_cell(const std::string& family, const std::string& heuristic, int b,
+                long slot_cap = 100'000) {
+  const auto scenario = test_scenario();
+  const sched::Estimator estimator(scenario.platform, scenario.app, 1e-6);
+  const auto& fam = *scen::availability_family(family);
+
+  sim::EngineOptions eopts;
+  eopts.slot_cap = slot_cap;
+  eopts.record_trace = true;
+
+  auto make_realization = [&](int trial) {
+    return std::make_unique<Realization>(fam.make_source(
+        scenario.platform, expt::trial_seed(scenario, trial),
+        platform::InitialStates::Stationary));
+  };
+  auto make_sched = [&](int trial) {
+    return sched::make_scheduler(
+        heuristic, estimator,
+        util::derive_seed(scenario.params.seed,
+                          2000 + static_cast<std::uint64_t>(trial)));
+  };
+
+  // Sequential reference: one replay engine per trial, each over its own
+  // realization (replay ≡ live is realization_test's theorem; batched ≡
+  // replay is this suite's).
+  std::vector<sim::SimulationResult> want(static_cast<std::size_t>(b));
+  std::vector<sim::ActivityTrace> want_traces(static_cast<std::size_t>(b));
+  for (int t = 0; t < b; ++t) {
+    auto realization = make_realization(t);
+    auto scheduler = make_sched(t);
+    sim::Engine engine(scenario.platform, scenario.app, *realization, *scheduler,
+                       eopts);
+    want[static_cast<std::size_t>(t)] = engine.run();
+    want_traces[static_cast<std::size_t>(t)] = engine.trace();
+  }
+
+  std::vector<std::unique_ptr<Realization>> reals;
+  std::vector<std::unique_ptr<sim::Scheduler>> scheds;
+  std::vector<sim::TrialBatch::Lane> lanes;
+  for (int t = 0; t < b; ++t) {
+    reals.push_back(make_realization(t));
+    scheds.push_back(make_sched(t));
+    lanes.push_back({reals.back().get(), scheds.back().get()});
+  }
+  sim::TrialBatch batch(scenario.platform, scenario.app, std::move(lanes), eopts);
+  const auto outcome = batch.run();
+
+  EXPECT_FALSE(outcome.cancelled);
+  for (int t = 0; t < b; ++t) {
+    SCOPED_TRACE("trial " + std::to_string(t));
+    const auto lane = static_cast<std::size_t>(t);
+    ASSERT_TRUE(outcome.completed[lane]);
+    EXPECT_FALSE(outcome.budget_exceeded[lane]);
+    expect_identical_results(outcome.results[lane], want[lane]);
+    expect_identical_traces(batch.engine(t).trace(), want_traces[lane]);
+  }
+}
+
+TEST(TrialBatch, BitIdenticalAcrossEveryHeuristicAndFamily) {
+  for (const auto& family : families()) {
+    for (const auto& heuristic : every_heuristic()) {
+      SCOPED_TRACE(family + " / " + heuristic);
+      check_cell(family, heuristic, 3);
+    }
+  }
+}
+
+TEST(TrialBatch, WidthOneDegenerate) {
+  check_cell("markov", "IE", 1);
+  check_cell("markov", "RANDOM", 1);
+}
+
+TEST(TrialBatch, BatchTelemetryCountsRoundsAndWidths) {
+  const auto scenario = test_scenario();
+  const sched::Estimator estimator(scenario.platform, scenario.app, 1e-6);
+  const auto& fam = *scen::availability_family("markov");
+  constexpr int kB = 4;
+  std::vector<std::unique_ptr<Realization>> reals;
+  std::vector<std::unique_ptr<sim::Scheduler>> scheds;
+  std::vector<sim::TrialBatch::Lane> lanes;
+  for (int t = 0; t < kB; ++t) {
+    reals.push_back(std::make_unique<Realization>(fam.make_source(
+        scenario.platform, expt::trial_seed(scenario, t),
+        platform::InitialStates::Stationary)));
+    scheds.push_back(sched::make_scheduler("IE", estimator));
+    lanes.push_back({reals.back().get(), scheds.back().get()});
+  }
+  sim::TrialBatch batch(scenario.platform, scenario.app, std::move(lanes), {});
+  const auto outcome = batch.run();
+  for (int t = 0; t < kB; ++t) {
+    EXPECT_TRUE(outcome.completed[static_cast<std::size_t>(t)]);
+  }
+  const sim::RunTelemetry& telem = batch.batch_telemetry();
+  EXPECT_GT(telem.batch_rounds, 0);
+  // The width histogram samples once per round, and the first round sees
+  // every lane live.
+  EXPECT_EQ(telem.batch_width.count(),
+            static_cast<std::uint64_t>(telem.batch_rounds));
+  EXPECT_GE(telem.batch_width.sum(), static_cast<std::uint64_t>(telem.batch_rounds));
+}
+
+TEST(TrialBatch, StopFlagCancelsAtRoundBoundary) {
+  const auto scenario = test_scenario();
+  const sched::Estimator estimator(scenario.platform, scenario.app, 1e-6);
+  const auto& fam = *scen::availability_family("markov");
+  auto realization = std::make_unique<Realization>(fam.make_source(
+      scenario.platform, expt::trial_seed(scenario, 0),
+      platform::InitialStates::Stationary));
+  auto scheduler = sched::make_scheduler("IE", estimator);
+  sim::TrialBatch batch(scenario.platform, scenario.app,
+                        {{realization.get(), scheduler.get()}}, {});
+  const std::atomic<bool> stop{true};  // raised before the first round
+  const auto outcome = batch.run(&stop);
+  EXPECT_TRUE(outcome.cancelled);
+  EXPECT_FALSE(outcome.completed[0]);
+  EXPECT_FALSE(outcome.budget_exceeded[0]);
+}
+
+// ------------------------------------------------------------ Session sweep ----
+
+api::ExperimentSpec mini_spec() {
+  api::ExperimentSpec spec;
+  spec.grid.ms = {5};
+  spec.grid.ncoms = {5};
+  spec.grid.wmins = {1, 2};
+  spec.grid.scenarios_per_cell = 2;
+  spec.trials = 5;  // deliberately not a multiple of the batch widths below
+  spec.grid.iterations = 3;
+  spec.heuristics = {"RANDOM", "IE", "Y-IE"};
+  spec.options.slot_cap = 100'000;
+  spec.options.threads = 2;
+  return spec;
+}
+
+/// Index-addressed collector of FULL simulation results (sweep bit-identity
+/// must compare every counter, not an aggregate).
+class CollectSink final : public api::ResultSink {
+ public:
+  void begin(const api::ExperimentSpec& spec,
+             const std::vector<platform::ScenarioParams>& scenarios,
+             const std::vector<std::string>& heuristics) override {
+    (void)spec;
+    results_.assign(heuristics.size(),
+                    std::vector<std::vector<sim::SimulationResult>>(scenarios.size()));
+  }
+  void consume(const api::ResultRow& row) override {
+    auto& per_scenario = results_[row.heuristic][row.scenario];
+    if (per_scenario.size() <= static_cast<std::size_t>(row.trial)) {
+      per_scenario.resize(static_cast<std::size_t>(row.trial) + 1);
+    }
+    per_scenario[static_cast<std::size_t>(row.trial)] = *row.result;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::vector<sim::SimulationResult>>>&
+  results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::vector<std::vector<sim::SimulationResult>>> results_;
+};
+
+struct SweepOutcome {
+  std::vector<std::vector<std::vector<sim::SimulationResult>>> results;
+  api::Session::RunStats stats;
+};
+
+SweepOutcome sweep(int trial_batch, std::size_t budget = 64u << 20) {
+  api::ExperimentSpec spec = mini_spec();
+  spec.options.trial_batch = trial_batch;
+  spec.options.realization_budget = budget;
+  api::Session session(spec.options);
+  CollectSink sink;
+  const auto stats = session.run(spec, {&sink});
+  return {sink.results(), stats};
+}
+
+void expect_identical_sweeps(const SweepOutcome& a, const SweepOutcome& b) {
+  EXPECT_EQ(a.stats.rows, b.stats.rows);
+  EXPECT_EQ(a.stats.units_total, b.stats.units_total);
+  EXPECT_EQ(a.stats.units_done, b.stats.units_done);
+  EXPECT_EQ(a.stats.cancelled, b.stats.cancelled);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t h = 0; h < a.results.size(); ++h) {
+    ASSERT_EQ(a.results[h].size(), b.results[h].size());
+    for (std::size_t sc = 0; sc < a.results[h].size(); ++sc) {
+      ASSERT_EQ(a.results[h][sc].size(), b.results[h][sc].size());
+      for (std::size_t t = 0; t < a.results[h][sc].size(); ++t) {
+        SCOPED_TRACE("h" + std::to_string(h) + " sc" + std::to_string(sc) + " t" +
+                     std::to_string(t));
+        expect_identical_results(a.results[h][sc][t], b.results[h][sc][t]);
+      }
+    }
+  }
+}
+
+TEST(BatchedSweep, IdenticalToSequentialIncludingRaggedTail) {
+  const auto sequential = sweep(1);
+  EXPECT_EQ(sequential.stats.rows, 4u * 5u * 3u);
+  // 5 trials: batch widths cutting ragged (2, 3), even (5) and clamped (8).
+  for (const int b : {2, 3, 5, 8}) {
+    SCOPED_TRACE("trial_batch " + std::to_string(b));
+    expect_identical_sweeps(sweep(b), sequential);
+  }
+}
+
+TEST(BatchedSweep, PerLaneBudgetFallbackPreservesResults) {
+  const auto sequential = sweep(1);
+  // 4 KiB: every lane's realization overflows mid-run and falls back to
+  // live generation, trial by trial.
+  expect_identical_sweeps(sweep(3, 4096), sequential);
+  // Budget 0: sharing disabled, every lane live from the start.
+  expect_identical_sweeps(sweep(3, 0), sequential);
+}
+
+/// Checks the documented row-ordering guarantee under batching: each
+/// (scenario, trial) unit's rows still arrive contiguously in spec
+/// heuristic order (a range emits as B back-to-back units).
+class GroupingSink final : public api::ResultSink {
+ public:
+  void begin(const api::ExperimentSpec& spec,
+             const std::vector<platform::ScenarioParams>&,
+             const std::vector<std::string>& heuristics) override {
+    (void)spec;
+    h_count_ = heuristics.size();
+  }
+  void consume(const api::ResultRow& row) override {
+    const std::size_t in_group = seen_ % h_count_;
+    if (row.heuristic != in_group) ordered_ = false;
+    if (in_group == 0) {
+      scenario_ = row.scenario;
+      trial_ = row.trial;
+    } else if (row.scenario != scenario_ || row.trial != trial_) {
+      contiguous_ = false;
+    }
+    ++seen_;
+  }
+  [[nodiscard]] bool ordered() const { return ordered_; }
+  [[nodiscard]] bool contiguous() const { return contiguous_; }
+  [[nodiscard]] std::size_t seen() const { return seen_; }
+
+ private:
+  std::size_t h_count_ = 1;
+  std::size_t seen_ = 0;
+  std::size_t scenario_ = 0;
+  int trial_ = 0;
+  bool ordered_ = true;
+  bool contiguous_ = true;
+};
+
+TEST(BatchedSweep, RowsStillArriveUnitContiguousInHeuristicOrder) {
+  api::ExperimentSpec spec = mini_spec();
+  spec.options.trial_batch = 2;
+  api::Session session(spec.options);
+  GroupingSink sink;
+  const auto stats = session.run(spec, {&sink});
+  EXPECT_TRUE(sink.ordered());
+  EXPECT_TRUE(sink.contiguous());
+  EXPECT_EQ(sink.seen(), stats.rows);
+  EXPECT_EQ(stats.rows, 4u * 5u * 3u);
+}
+
+TEST(BatchedSweep, ProgressCountsSequentialUnitsAndBatchTicks) {
+  api::ExperimentSpec spec = mini_spec();
+  spec.options.trial_batch = 2;
+  api::Session session(spec.options);
+  api::AggregateSink sink;
+  std::size_t calls = 0, last = 0, total = 0;
+  session.run(spec, {&sink}, [&](std::size_t done, std::size_t n) {
+    ++calls;
+    last = std::max(last, done);
+    total = n;
+  });
+  EXPECT_EQ(total, 4u * 5u);  // (scenario, trial) units, as sequential
+  EXPECT_EQ(last, 4u * 5u);
+  // One tick per (scenario, trial-range) item: 5 trials at width 2 = 3
+  // ranges per scenario.
+  EXPECT_EQ(calls, 4u * 3u);
+}
+
+TEST(BatchedSweep, MidSweepCancellationReportsPartialUnits) {
+  api::ExperimentSpec spec = mini_spec();
+  spec.options.trial_batch = 2;
+  spec.options.threads = 1;  // deterministic: items run in order
+  api::Session session(spec.options);
+  api::AggregateSink sink;
+  std::atomic<bool> stop{false};
+  const auto stats = session.run(
+      spec, {&sink},
+      [&](std::size_t, std::size_t) { stop.store(true); },  // after first range
+      &stop);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(stats.units_total, 4u * 5u);
+  // Exactly the first range's trials completed (the in-flight item finished
+  // and streamed; everything else was skipped at the item boundary).
+  EXPECT_EQ(stats.units_done, 2u);
+  EXPECT_EQ(stats.rows, 2u * 3u);
+}
+
+}  // namespace
+}  // namespace tcgrid
