@@ -41,6 +41,7 @@
 #include "api/sink.hpp"
 #include "api/spec.hpp"
 #include "markov/chain_stats.hpp"
+#include "markov/persistent_stats.hpp"
 #include "platform/availability.hpp"
 #include "platform/realization.hpp"
 #include "platform/scenario.hpp"
@@ -56,7 +57,14 @@ class Session {
  public:
   /// Options for single-run calls (run_trial / run_custom) and the defaults
   /// a sweep falls back to. ExperimentSpec::options wins inside run().
+  /// options.store_dir opens (creating if needed) the persistent
+  /// chain-statistics cache and layers the session store over it (DESIGN.md
+  /// §14); throws std::invalid_argument when store_dir is set with
+  /// shared_chain_stats off (there is no session store to back).
   explicit Session(Options options = {});
+
+  /// Flushes the persistent store (best effort) and releases the caches.
+  ~Session();
 
   /// Progress callback: (units completed, units total), where a unit is one
   /// (scenario, trial) — the sweep's scheduling grain — so a trial-major
@@ -203,6 +211,16 @@ class Session {
   /// those calls are invalidated.
   void clear_caches();
 
+  /// Drop every thread's cached scenario/estimator entries but RETAIN the
+  /// shared chain-statistics store: the next run rebuilds estimators whose
+  /// every chain interns into a hit and whose set quads are already
+  /// memoized. This is the serve daemon's resubmit shape (a new connection
+  /// thread, a warm session) isolated as a primitive — bench_sweep's warm
+  /// pass drives it to measure cross-request warmth, which within-sweep
+  /// counters structurally cannot show (DESIGN.md §10). Same concurrency
+  /// contract as clear_caches().
+  void drop_estimator_caches();
+
   /// Observability of the session-shared chain-statistics store (DESIGN.md
   /// §10): distinct chains interned, intern dedup hits, multiset set-stats
   /// entries/hits/misses, published survival entries and resident bytes —
@@ -222,6 +240,27 @@ class Session {
   [[nodiscard]] const std::shared_ptr<markov::ChainStatsStore>& chain_store()
       const noexcept {
     return chain_store_;
+  }
+
+  /// Persist every newly computed chain-store entry to options().store_dir
+  /// as one atomic generation (markov::PersistentChainStats::flush_from);
+  /// returns the number of entries written, 0 when nothing is new or no
+  /// store_dir is configured. Called automatically at the session quiesce
+  /// points — end of run(), clear_caches() (BEFORE the store swap, so an
+  /// eviction trades memory, not warmth), destruction — and safe to call
+  /// from any thread at any time (the export snapshots concurrently mutated
+  /// entries consistently; half-computed ones wait for the next flush).
+  std::size_t flush_store();
+
+  /// Counters of the persistent store (all zeros when store_dir is unset).
+  /// Safe from any thread at any time.
+  [[nodiscard]] markov::PersistentChainStats::Counters persistent_store_counters();
+
+  /// The persistent backing store itself (nullptr when store_dir is unset).
+  /// Exposed for tests and benches; never reassigned after construction.
+  [[nodiscard]] const std::shared_ptr<markov::PersistentChainStats>&
+  persistent_store() const noexcept {
+    return persist_;
   }
 
   /// Total cached scenario entries across all threads (observability for
@@ -303,6 +342,12 @@ class Session {
                        const Progress& progress, const std::atomic<bool>* stop);
 
   Options options_;
+
+  /// The disk-backed cache behind chain_store_ (options_.store_dir; nullptr
+  /// when unset). Created once, never reassigned: clear_caches() swaps the
+  /// in-memory store but keeps the persistent layer — that asymmetry is the
+  /// point (eviction drops heap bytes, disk generations keep the warmth).
+  std::shared_ptr<markov::PersistentChainStats> persist_;
 
   /// One store per session (created when options_.shared_chain_stats),
   /// handed to every estimator the session builds and shared by all pool

@@ -1,0 +1,546 @@
+#include "markov/persistent_stats.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace tcgrid::markov {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ on-disk format --
+//
+// One generation file, all integers little-endian host order (the store
+// directory is machine-local shared state, not an interchange format), all
+// sections 8-aligned by construction:
+//
+//   GenHeader | ChainRec[chain_count] | SetRec[set_count]
+//             | key blob (u64[keys_count]) | survival blob (double[surv_count])
+//             | GenFooter
+//
+// The footer is the suffix-validation seal (serve/checkpoint.cpp's torn-tail
+// discipline applied to a whole file): magic + counts echoing the header +
+// the total file size + an FNV-1a checksum over everything before it. A
+// file that is short, oversized, bit-flipped or half-renamed fails at least
+// one check and the loader skips it wholesale.
+
+constexpr char kHeaderMagic[8] = {'T', 'C', 'G', 'S', 'G', 'E', 'N', '1'};
+constexpr char kFooterMagic[8] = {'T', 'C', 'G', 'S', 'E', 'N', 'D', '1'};
+constexpr std::uint64_t kVersion = 1;
+
+struct GenHeader {
+  char magic[8];
+  std::uint64_t version;
+  std::uint64_t eps_bits;     ///< std::bit_cast of the store eps
+  std::uint64_t chain_count;
+  std::uint64_t set_count;
+  std::uint64_t chains_off;   ///< byte offset of ChainRec[chain_count]
+  std::uint64_t sets_off;     ///< byte offset of SetRec[set_count]
+  std::uint64_t keys_off;     ///< byte offset of the set-key blob
+  std::uint64_t keys_count;   ///< u64 words in the key blob
+  std::uint64_t surv_off;     ///< byte offset of the survival blob
+  std::uint64_t surv_count;   ///< doubles in the survival blob
+  std::uint64_t file_bytes;   ///< total file size, footer included
+};
+static_assert(sizeof(GenHeader) == 96);
+
+struct ChainRec {
+  std::uint64_t key[4];     ///< bit content of (uu, ur, ru, rr)
+  std::uint64_t flags;      ///< kStatsPresent | kFailureFree | kConverged
+  double p_plus;
+  double ec;
+  std::uint64_t surv_off;   ///< double-index into the survival blob
+  std::uint64_t surv_len;   ///< published survival entries
+  double row_u, row_r;      ///< UrRow frontier standing at entry surv_len-1
+};
+static_assert(sizeof(ChainRec) == 88);
+
+struct SetRec {
+  std::uint64_t key_off;    ///< u64-index into the key blob
+  std::uint64_t key_count;  ///< chains in the multiset (4 words each)
+  std::uint64_t flags;      ///< kFailureFree | kConverged
+  double p_plus;
+  double ec;
+};
+static_assert(sizeof(SetRec) == 40);
+
+struct GenFooter {
+  char magic[8];
+  std::uint64_t chain_count;
+  std::uint64_t set_count;
+  std::uint64_t file_bytes;
+  std::uint64_t checksum;   ///< FNV-1a over bytes [0, file_bytes - sizeof(GenFooter))
+};
+static_assert(sizeof(GenFooter) == 40);
+
+constexpr std::uint64_t kStatsPresent = 1u << 0;
+constexpr std::uint64_t kFailureFree = 1u << 1;
+constexpr std::uint64_t kConverged = 1u << 2;
+
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t pack_flags(bool present, const CoupledStats& s) {
+  std::uint64_t f = present ? kStatsPresent : 0;
+  if (s.failure_free) f |= kFailureFree;
+  if (s.converged) f |= kConverged;
+  return f;
+}
+
+CoupledStats unpack_stats(std::uint64_t flags, double p_plus, double ec) {
+  CoupledStats s;
+  s.p_plus = p_plus;
+  s.ec = ec;
+  s.failure_free = (flags & kFailureFree) != 0;
+  s.converged = (flags & kConverged) != 0;
+  return s;
+}
+
+// ------------------------------------------------------------------- metrics --
+
+struct PersistMetrics {
+  obs::Gauge generations;
+  obs::Gauge mapped_bytes;
+  obs::Counter chain_hits, chain_misses;
+  obs::Counter set_hits, set_misses;
+  obs::Counter skipped;
+  obs::Counter flushed_entries;
+  obs::Histogram load_us;
+  obs::Histogram flush_us;
+};
+
+PersistMetrics& persist_metrics() {
+  static PersistMetrics m = [] {
+    obs::Registry& reg = obs::Registry::instance();
+    return PersistMetrics{
+        reg.gauge("tcgrid_persist_generations"),
+        reg.gauge("tcgrid_persist_mapped_bytes"),
+        reg.counter("tcgrid_persist_lookups_total",
+                    {{"kind", "chain"}, {"result", "hit"}}),
+        reg.counter("tcgrid_persist_lookups_total",
+                    {{"kind", "chain"}, {"result", "miss"}}),
+        reg.counter("tcgrid_persist_lookups_total",
+                    {{"kind", "set"}, {"result", "hit"}}),
+        reg.counter("tcgrid_persist_lookups_total",
+                    {{"kind", "set"}, {"result", "miss"}}),
+        reg.counter("tcgrid_persist_skipped_generations_total"),
+        reg.counter("tcgrid_persist_flushed_entries_total"),
+        reg.histogram("tcgrid_persist_load_us"),
+        reg.histogram("tcgrid_persist_flush_us"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+PersistentChainStats::PersistentChainStats(std::string dir, double eps)
+    : dir_(std::move(dir)), eps_(eps) {
+  if (eps_ <= 0.0) {
+    throw std::invalid_argument("PersistentChainStats: eps must be positive");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("PersistentChainStats: cannot create store dir " +
+                             dir_ + ": " + ec.message());
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  load_new_generations();
+}
+
+void PersistentChainStats::load_generation(const std::string& name) {
+  // Any validation failure lands here: the generation is counted skipped and
+  // remembered (a torn file never becomes valid, so refresh() need not
+  // re-validate it every scan), and the store serves on without it.
+  const auto skip = [&] {
+    loaded_[name] = false;
+    ++skipped_;
+    if (obs::enabled()) persist_metrics().skipped.inc();
+  };
+
+  util::MappedFile map;
+  try {
+    map = util::MappedFile(dir_ + "/" + name);
+  } catch (const std::exception&) {
+    skip();  // vanished or unreadable: treat as torn
+    return;
+  }
+
+  const char* data = map.data();
+  const std::size_t size = map.size();
+  if (size < sizeof(GenHeader) + sizeof(GenFooter)) return skip();
+
+  GenHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  if (std::memcmp(h.magic, kHeaderMagic, 8) != 0 || h.version != kVersion ||
+      h.file_bytes != size) {
+    return skip();
+  }
+  if (h.eps_bits != std::bit_cast<std::uint64_t>(eps_)) return skip();
+
+  const std::uint64_t footer_off = size - sizeof(GenFooter);
+  // Bounds before arithmetic: counts come off disk, so guard the multiplies.
+  if (h.chain_count > size / sizeof(ChainRec) ||
+      h.set_count > size / sizeof(SetRec) || h.keys_count > size / 8 ||
+      h.surv_count > size / 8) {
+    return skip();
+  }
+  const auto section_ok = [&](std::uint64_t off, std::uint64_t bytes) {
+    return off % 8 == 0 && off >= sizeof(GenHeader) && off <= footer_off &&
+           bytes <= footer_off - off;
+  };
+  if (!section_ok(h.chains_off, h.chain_count * sizeof(ChainRec)) ||
+      !section_ok(h.sets_off, h.set_count * sizeof(SetRec)) ||
+      !section_ok(h.keys_off, h.keys_count * 8) ||
+      !section_ok(h.surv_off, h.surv_count * 8)) {
+    return skip();
+  }
+
+  GenFooter f;
+  std::memcpy(&f, data + footer_off, sizeof(f));
+  if (std::memcmp(f.magic, kFooterMagic, 8) != 0 ||
+      f.chain_count != h.chain_count || f.set_count != h.set_count ||
+      f.file_bytes != size || f.checksum != fnv1a(data, footer_off)) {
+    return skip();
+  }
+
+  // Per-record bounds, before anything is indexed: one bad record rejects
+  // the whole generation (the file is a single write; partial trust in a
+  // corrupted image buys nothing).
+  const auto* surv_base = reinterpret_cast<const double*>(data + h.surv_off);
+  const auto* key_base = reinterpret_cast<const std::uint64_t*>(data + h.keys_off);
+  for (std::uint64_t i = 0; i < h.chain_count; ++i) {
+    ChainRec rec;
+    std::memcpy(&rec, data + h.chains_off + i * sizeof(ChainRec), sizeof(rec));
+    if (rec.surv_len > h.surv_count || rec.surv_off > h.surv_count - rec.surv_len) {
+      return skip();
+    }
+  }
+  for (std::uint64_t i = 0; i < h.set_count; ++i) {
+    SetRec rec;
+    std::memcpy(&rec, data + h.sets_off + i * sizeof(SetRec), sizeof(rec));
+    if (rec.key_count > h.keys_count / 4 ||
+        rec.key_off > h.keys_count - rec.key_count * 4) {
+      return skip();
+    }
+  }
+
+  // Valid: index every record. Duplicates across generations hold identical
+  // doubles by purity — keep the first stats quad seen and the LONGEST
+  // survival prefix (a later flush may extend an earlier generation's).
+  for (std::uint64_t i = 0; i < h.chain_count; ++i) {
+    ChainRec rec;
+    std::memcpy(&rec, data + h.chains_off + i * sizeof(ChainRec), sizeof(rec));
+    ChainHit hit;
+    hit.has_stats = (rec.flags & kStatsPresent) != 0;
+    hit.stats = unpack_stats(rec.flags, rec.p_plus, rec.ec);
+    hit.survival = rec.surv_len > 0 ? surv_base + rec.surv_off : nullptr;
+    hit.survival_len = static_cast<long>(rec.surv_len);
+    hit.row.u = rec.row_u;
+    hit.row.r = rec.row_r;
+    const std::array<std::uint64_t, 4> key{rec.key[0], rec.key[1], rec.key[2],
+                                           rec.key[3]};
+    auto [it, inserted] = chains_.try_emplace(key, hit);
+    if (inserted) {
+      survival_doubles_ += static_cast<std::size_t>(hit.survival_len);
+    } else {
+      ChainHit& cur = it->second;
+      if (!cur.has_stats && hit.has_stats) {
+        cur.has_stats = true;
+        cur.stats = hit.stats;
+      }
+      if (hit.survival_len > cur.survival_len) {
+        survival_doubles_ +=
+            static_cast<std::size_t>(hit.survival_len - cur.survival_len);
+        cur.survival = hit.survival;
+        cur.survival_len = hit.survival_len;
+        cur.row = hit.row;
+      }
+    }
+  }
+  for (std::uint64_t i = 0; i < h.set_count; ++i) {
+    SetRec rec;
+    std::memcpy(&rec, data + h.sets_off + i * sizeof(SetRec), sizeof(rec));
+    std::vector<std::uint64_t> key(key_base + rec.key_off,
+                                   key_base + rec.key_off + rec.key_count * 4);
+    sets_.try_emplace(std::move(key),
+                      SetVal{unpack_stats(rec.flags, rec.p_plus, rec.ec)});
+  }
+
+  mapped_bytes_ += size;
+  generations_.push_back(std::move(map));  // retired only at destruction
+  loaded_[name] = true;
+}
+
+std::size_t PersistentChainStats::load_new_generations() {
+  const obs::ScopedTimer timer(persist_metrics().load_us);
+  std::size_t mapped = 0;
+  for (const std::string& name : util::list_dir(dir_, "gen-", ".tcs")) {
+    if (loaded_.contains(name)) continue;
+    const std::size_t before = generations_.size();
+    load_generation(name);
+    mapped += generations_.size() - before;
+  }
+  update_gauges();
+  return mapped;
+}
+
+void PersistentChainStats::update_gauges() const {
+  if (!obs::enabled()) return;
+  PersistMetrics& m = persist_metrics();
+  m.generations.set(static_cast<long long>(generations_.size()));
+  m.mapped_bytes.set(static_cast<long long>(mapped_bytes_));
+}
+
+bool PersistentChainStats::find_chain(const std::array<std::uint64_t, 4>& key,
+                                      ChainHit& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chains_.find(key);
+  if (it == chains_.end()) {
+    ++chain_misses_;
+    if (obs::enabled()) persist_metrics().chain_misses.inc();
+    return false;
+  }
+  ++chain_hits_;
+  if (obs::enabled()) persist_metrics().chain_hits.inc();
+  out = it->second;
+  return true;
+}
+
+bool PersistentChainStats::find_set(std::span<const std::uint64_t> key,
+                                    CoupledStats& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sets_.find(std::vector<std::uint64_t>(key.begin(), key.end()));
+  if (it == sets_.end()) {
+    ++set_misses_;
+    if (obs::enabled()) persist_metrics().set_misses.inc();
+    return false;
+  }
+  ++set_hits_;
+  if (obs::enabled()) persist_metrics().set_hits.inc();
+  out = it->second.stats;
+  return true;
+}
+
+std::size_t PersistentChainStats::refresh() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return load_new_generations();
+}
+
+void PersistentChainStats::set_flush_fault_for_test(FlushFault fault) {
+  const std::lock_guard<std::mutex> lock(flush_mu_);
+  fault_ = fault;
+}
+
+std::size_t PersistentChainStats::flush_from(const ChainStatsStore& store) {
+  assert(store.eps() == eps_ &&
+         "PersistentChainStats::flush_from: store/persist eps mismatch");
+  std::vector<ChainStatsStore::ExportedChain> chains;
+  std::vector<ChainStatsStore::ExportedSet> sets;
+  store.export_entries(chains, sets);
+
+  const std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  const FlushFault fault = std::exchange(fault_, FlushFault{});
+
+  // Keep only what disk does not already hold: new chains, a newly computed
+  // quad for a chain whose earlier flush had only survival, or a survival
+  // prefix longer than the persisted one. Sets are immutable once written.
+  std::vector<const ChainStatsStore::ExportedChain*> new_chains;
+  std::vector<const ChainStatsStore::ExportedSet*> new_sets;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : chains) {
+      const auto it = chains_.find(c.key);
+      if (it == chains_.end()) {
+        new_chains.push_back(&c);
+      } else if ((c.has_stats && !it->second.has_stats) ||
+                 static_cast<long>(c.survival.size()) >
+                     it->second.survival_len) {
+        new_chains.push_back(&c);
+      }
+    }
+    for (const auto& s : sets) {
+      if (!sets_.contains(s.key)) new_sets.push_back(&s);
+    }
+  }
+  if (new_chains.empty() && new_sets.empty()) return 0;
+
+  const obs::ScopedTimer timer(persist_metrics().flush_us);
+
+  // Section sizes.
+  std::uint64_t surv_count = 0;
+  for (const auto* c : new_chains) surv_count += c->survival.size();
+  std::uint64_t keys_count = 0;
+  for (const auto* s : new_sets) keys_count += s->key.size();
+
+  GenHeader h{};
+  std::memcpy(h.magic, kHeaderMagic, 8);
+  h.version = kVersion;
+  h.eps_bits = std::bit_cast<std::uint64_t>(eps_);
+  h.chain_count = new_chains.size();
+  h.set_count = new_sets.size();
+  h.chains_off = sizeof(GenHeader);
+  h.sets_off = h.chains_off + h.chain_count * sizeof(ChainRec);
+  h.keys_off = h.sets_off + h.set_count * sizeof(SetRec);
+  h.surv_off = h.keys_off + keys_count * 8;
+  h.keys_count = keys_count;
+  h.surv_count = surv_count;
+  const std::uint64_t footer_off = h.surv_off + surv_count * 8;
+  h.file_bytes = footer_off + sizeof(GenFooter);
+
+  std::string image(h.file_bytes, '\0');
+  const auto put = [&](std::uint64_t off, const void* src, std::size_t n) {
+    std::memcpy(image.data() + off, src, n);
+  };
+  put(0, &h, sizeof(h));
+
+  std::uint64_t surv_cursor = 0;
+  for (std::size_t i = 0; i < new_chains.size(); ++i) {
+    const auto& c = *new_chains[i];
+    ChainRec rec{};
+    rec.key[0] = c.key[0];
+    rec.key[1] = c.key[1];
+    rec.key[2] = c.key[2];
+    rec.key[3] = c.key[3];
+    rec.flags = pack_flags(c.has_stats, c.stats);
+    rec.p_plus = c.has_stats ? c.stats.p_plus : 0.0;
+    rec.ec = c.has_stats ? c.stats.ec : 0.0;
+    rec.surv_off = surv_cursor;
+    rec.surv_len = c.survival.size();
+    rec.row_u = c.row.u;
+    rec.row_r = c.row.r;
+    put(h.chains_off + i * sizeof(ChainRec), &rec, sizeof(rec));
+    if (!c.survival.empty()) {
+      put(h.surv_off + surv_cursor * 8, c.survival.data(),
+          c.survival.size() * 8);
+      surv_cursor += c.survival.size();
+    }
+  }
+  std::uint64_t key_cursor = 0;
+  for (std::size_t i = 0; i < new_sets.size(); ++i) {
+    const auto& s = *new_sets[i];
+    SetRec rec{};
+    rec.key_off = key_cursor;
+    rec.key_count = s.key.size() / 4;
+    rec.flags = pack_flags(true, s.stats) & ~kStatsPresent;
+    rec.p_plus = s.stats.p_plus;
+    rec.ec = s.stats.ec;
+    put(h.sets_off + i * sizeof(SetRec), &rec, sizeof(rec));
+    put(h.keys_off + key_cursor * 8, s.key.data(), s.key.size() * 8);
+    key_cursor += s.key.size();
+  }
+
+  GenFooter f{};
+  std::memcpy(f.magic, kFooterMagic, 8);
+  f.chain_count = h.chain_count;
+  f.set_count = h.set_count;
+  f.file_bytes = h.file_bytes;
+  f.checksum = fnv1a(image.data(), footer_off);
+  put(footer_off, &f, sizeof(f));
+
+  // Pick a name no generation already uses. Names carry the pid, so only a
+  // restart that recycled the pid over an existing directory can collide —
+  // the existence check bumps past it rather than renaming over history.
+  std::string name;
+  do {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "gen-%ld-%llu.tcs",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(flush_seq_++));
+    name = buf;
+  } while (fs::exists(dir_ + "/" + name));
+
+  switch (fault.kind) {
+    case FlushFault::Kind::TornTemp: {
+      // Crash mid temp write: a short *.tcs.tmp is left behind and nothing
+      // is published. Loaders never look at .tmp files.
+      std::FILE* fp = std::fopen((dir_ + "/" + name + ".tmp").c_str(), "wb");
+      if (fp != nullptr) {
+        std::fwrite(image.data(), 1,
+                    std::min<std::size_t>(image.size(),
+                                          static_cast<std::size_t>(
+                                              std::max<long>(0, fault.keep_bytes))),
+                    fp);
+        std::fclose(fp);
+      }
+      return 0;
+    }
+    case FlushFault::Kind::SkipPublish: {
+      // Crash after the temp write, before rename: full .tmp, no generation.
+      std::FILE* fp = std::fopen((dir_ + "/" + name + ".tmp").c_str(), "wb");
+      if (fp != nullptr) {
+        std::fwrite(image.data(), 1, image.size(), fp);
+        std::fclose(fp);
+      }
+      return 0;
+    }
+    case FlushFault::Kind::PublishTruncated: {
+      // Negative keep_bytes counts back from the end of the image (the
+      // "torn just shy of the footer" shape, whatever the image size).
+      const long keep = fault.keep_bytes >= 0
+                            ? fault.keep_bytes
+                            : std::max<long>(0, static_cast<long>(image.size()) +
+                                                    fault.keep_bytes);
+      util::write_file_atomic(dir_, name, image, keep);
+      break;
+    }
+    case FlushFault::Kind::None:
+      util::write_file_atomic(dir_, name, image);
+      break;
+  }
+
+  const std::size_t entries = new_chains.size() + new_sets.size();
+  {
+    // Index what was just published through the normal load path — for a
+    // fault-truncated publish that correctly counts it as skipped.
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!loaded_.contains(name)) load_generation(name);
+    if (fault.kind == FlushFault::Kind::None) {
+      ++flushes_;
+      flushed_entries_ += entries;
+    }
+    update_gauges();
+  }
+  if (fault.kind != FlushFault::Kind::None) return 0;
+  if (obs::enabled()) {
+    persist_metrics().flushed_entries.inc(static_cast<std::uint64_t>(entries));
+  }
+  return entries;
+}
+
+PersistentChainStats::Counters PersistentChainStats::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Counters out;
+  out.generations = generations_.size();
+  out.mapped_bytes = mapped_bytes_;
+  out.chains = chains_.size();
+  out.sets = sets_.size();
+  out.survival_doubles = survival_doubles_;
+  out.chain_hits = chain_hits_;
+  out.chain_misses = chain_misses_;
+  out.set_hits = set_hits_;
+  out.set_misses = set_misses_;
+  out.skipped_generations = skipped_;
+  out.flushes = flushes_;
+  out.flushed_entries = flushed_entries_;
+  return out;
+}
+
+}  // namespace tcgrid::markov

@@ -134,6 +134,10 @@ Server::Tenant& Server::tenant_for(const std::string& name) {
     tenant->quota = q != options_.tenant_quotas.end() ? q->second : options_.default_quota;
     api::Options session_options;
     session_options.eps = options_.eps;
+    // One store directory across tenants (see ServerOptions::store_dir):
+    // every tenant session layers over the same mmap'd generations, and a
+    // flush from any tenant warms all of them.
+    session_options.store_dir = options_.store_dir;
     tenant->session = std::make_unique<api::Session>(session_options);
     obs::Registry& reg = obs::Registry::instance();
     tenant->unit_service_us =
@@ -346,6 +350,7 @@ void Server::worker_loop() {
     }
 
     bool published = false;
+    bool job_completed = false;
     if (!failed) {
       // Abandon instead of committing once stopping: hard_stop() promises
       // kill -9 semantics (nothing new becomes durable after it returns).
@@ -385,6 +390,7 @@ void Server::worker_loop() {
         if (claimed_us != 0) tenant.unit_service_us.observe(service_us);
         if (job->units_done == job->units_total && !job->terminal()) {
           job->state = Job::State::Done;
+          job_completed = true;
         }
         // Quota check at the only safe boundary: a completed unit. The
         // store can overshoot by at most the in-flight units' growth.
@@ -415,6 +421,12 @@ void Server::worker_loop() {
                            {"us", static_cast<unsigned long long>(service_us)}});
       }
     }
+
+    // Job completion is a quiesce point of the persistent store (DESIGN.md
+    // §14): persist what this sweep interned while it is all still hot.
+    // Outside every lock — the flush serializes internally and snapshots
+    // entries other tenants' units may still be appending to.
+    if (job_completed) tenant.session->flush_store();
 
     if (!published) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -592,9 +604,7 @@ std::string Server::handle_counters() {
   json::Object tenants;
   for (const auto& [name, tenant] : tenants_) {
     const auto store = tenant->session->chain_store_counters();
-    tenants.emplace_back(
-        name,
-        json::Object{
+    json::Object tenant_obj{
             {"jobs", static_cast<unsigned long long>(tenant->jobs)},
             {"units_done", static_cast<unsigned long long>(tenant->units_done)},
             {"rows", static_cast<unsigned long long>(tenant->rows)},
@@ -619,7 +629,27 @@ std::string Server::handle_counters() {
                   static_cast<unsigned long long>(store.survival_entries)},
                  {"bytes", static_cast<unsigned long long>(store.bytes)},
              }},
-        });
+        };
+    if (tenant->session->persistent_store() != nullptr) {
+      const auto p = tenant->session->persistent_store_counters();
+      tenant_obj.emplace_back(
+          "persistent",
+          json::Object{
+              {"generations", static_cast<unsigned long long>(p.generations)},
+              {"mapped_bytes", static_cast<unsigned long long>(p.mapped_bytes)},
+              {"chains", static_cast<unsigned long long>(p.chains)},
+              {"sets", static_cast<unsigned long long>(p.sets)},
+              {"chain_hits", static_cast<unsigned long long>(p.chain_hits)},
+              {"chain_misses", static_cast<unsigned long long>(p.chain_misses)},
+              {"set_hits", static_cast<unsigned long long>(p.set_hits)},
+              {"set_misses", static_cast<unsigned long long>(p.set_misses)},
+              {"skipped_generations",
+               static_cast<unsigned long long>(p.skipped_generations)},
+              {"flushed_entries",
+               static_cast<unsigned long long>(p.flushed_entries)},
+          });
+    }
+    tenants.emplace_back(name, std::move(tenant_obj));
   }
   const FleetState fs = fleet_state();
   return json::dump(json::Object{

@@ -1,0 +1,126 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace tcgrid::util {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) sys_fail("open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    sys_fail("fstat " + path);
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    return;  // empty file: valid, unmapped
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+  const int saved = errno;
+  ::close(fd);  // the mapping keeps the pages alive
+  if (map == MAP_FAILED) {
+    errno = saved;
+    sys_fail("mmap " + path);
+  }
+  data_ = static_cast<const char*>(map);
+  size_ = static_cast<std::size_t>(st.st_size);
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void write_file_atomic(const std::string& dir, const std::string& name,
+                       std::string_view content, long truncate_to) {
+  if (truncate_to >= 0 &&
+      static_cast<std::size_t>(truncate_to) < content.size()) {
+    content = content.substr(0, static_cast<std::size_t>(truncate_to));
+  }
+  const std::string tmp = dir + "/" + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) sys_fail("open " + tmp);
+  try {
+    std::size_t off = 0;
+    while (off < content.size()) {
+      const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      sys_fail("write " + tmp);
+    }
+    if (::fsync(fd) != 0) sys_fail("fsync " + tmp);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) sys_fail("rename " + tmp);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) sys_fail("open dir " + dir);
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) sys_fail("fsync dir " + dir);
+}
+
+std::vector<std::string> list_dir(const std::string& dir,
+                                  std::string_view prefix,
+                                  std::string_view suffix) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace tcgrid::util
