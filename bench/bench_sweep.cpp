@@ -21,19 +21,42 @@
 // spread seen by any arm — and headline overheads are clamped at 0 (a
 // negative overhead is indistinguishable from noise, not a real win). Raw
 // unclamped ratios are kept alongside for honesty.
+//
+// --shards N (default 0 = off) adds a MULTI-PROCESS arm (DESIGN.md §15): a
+// coordinator-mode server leasing units to N forked shard daemon processes
+// over real unix sockets, timed submit -> final row. Its digest is an
+// order-independent fold over the serve-protocol ROW BYTES, compared
+// against the same fold computed by a RowDigestSink during a plain shared
+// Session run — the sorted-union byte-identity gate, inside the same exit-2
+// contract as the in-process digests. The artifact records rows/sec, the
+// speedup over the single-process shared arm, the per-shard scaling
+// efficiency and the host core count: the arm is CPU-bound, so wall-clock
+// speedup needs >= shards+1 hardware threads — on fewer cores the shard
+// processes timeshare and the honest expectation is ~1.0x, not >N x.
 // Exit codes: 0 ok, 2 on any digest divergence (CI fails on it).
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/api.hpp"
+#include "api/spec_json.hpp"
 #include "bench_common.hpp"
 #include "markov/chain_stats.hpp"
 #include "obs/obs.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/socket.hpp"
 
 namespace {
 
@@ -97,6 +120,147 @@ WarmPassTiming run_warm_pass(const api::ExperimentSpec& spec) {
   out.rows = warm.rows();
   out.digest = warm.digest();
   out.passes_identical = warm.digest() == first.digest() && warm.rows() == first.rows();
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Order-independent digest over serve-protocol ROW BYTES. DigestSink folds
+/// per-iteration stats that row lines do not carry, so it cannot gate the
+/// sharded arm; this sink hashes exactly the bytes a daemon streams —
+/// serve::row_line is the single serializer on both sides, which is what
+/// makes the comparison a byte-identity claim and not a value claim.
+class RowDigestSink final : public api::ResultSink {
+ public:
+  void consume(const api::ResultRow& row) override {
+    digest_ ^= fnv1a(serve::row_line(row.scenario, row.trial, row.heuristic,
+                                     *row.name, *row.family, *row.params,
+                                     *row.result));
+    ++rows_;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+ private:
+  std::uint64_t digest_ = 0;
+  std::size_t rows_ = 0;
+};
+
+struct ShardedTiming {
+  double seconds = 0.0;
+  double worst_seconds = 0.0;
+  std::size_t rows = 0;
+  std::uint64_t digest = 0;
+};
+
+/// A stock shard daemon in its own forked process behind a unix listen
+/// socket — the multi-process in the multi-process arm: real address-space
+/// isolation, scheduled by the kernel like any external tcgrid_serve. The
+/// child serves until the parent SIGKILLs it; that teardown is the
+/// documented shard contract (shards hold nothing the merge needs — the
+/// coordinator owns the durable checkpoint).
+struct ShardProcess {
+  ShardProcess(const serve::ServerOptions& opts, const std::string& socket_path) {
+    pid = ::fork();
+    if (pid == 0) {
+      try {
+        tcgrid::util::Fd listen_fd = tcgrid::util::listen_unix(socket_path);
+        serve::Server server(opts);
+        server.serve(listen_fd.get());
+      } catch (...) {
+      }
+      ::_exit(0);
+    }
+    // The coordinator's monitor dials the address as soon as the fleet
+    // starts: block until the child's socket actually accepts so daemon
+    // startup cannot leak into the timed region as connect-retry latency.
+    for (int i = 0; i < 200; ++i) {
+      try {
+        tcgrid::util::Fd probe = tcgrid::util::connect_unix(socket_path);
+        return;
+      } catch (const std::exception&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+    std::fprintf(stderr, "bench_sweep: shard %s never came up\n", socket_path.c_str());
+  }
+  ~ShardProcess() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+  pid_t pid = -1;
+};
+
+/// One sharded rep: fresh coordinator + `shards` single-threaded shard
+/// daemon processes (cold tenant sessions, like every other arm's fresh
+/// Session), timed from submit to the results stream's end record. Process
+/// spawn and teardown stay outside the timed region.
+ShardedTiming run_sharded(const api::ExperimentSpec& spec, long shards,
+                          const std::filesystem::path& tmp, long rep) {
+  namespace fs = std::filesystem;
+  namespace serve = tcgrid::serve;
+  const fs::path root = tmp / ("rep" + std::to_string(rep));
+  fs::create_directories(root);
+  ShardedTiming out;
+  {
+    std::vector<std::unique_ptr<ShardProcess>> fleet;
+    serve::ServerOptions copts;
+    copts.root = (root / "coord").string();
+    copts.coordinator = true;
+    for (long s = 0; s < shards; ++s) {
+      serve::ServerOptions sopts;
+      sopts.root = (root / ("shard" + std::to_string(s))).string();
+      sopts.threads = 1;  // parallelism is the shard count, nothing hidden
+      const std::string sock = (root / ("s" + std::to_string(s) + ".sock")).string();
+      fleet.push_back(std::make_unique<ShardProcess>(sopts, sock));
+      copts.shard.shards.push_back(sock);
+    }
+    serve::Server coord(copts);
+    auto [client_end, server_end] = util::stream_socketpair();
+    const int sfd = server_end.release();
+    std::thread handler([&coord, sfd] {
+      coord.serve_connection(sfd);
+      ::close(sfd);
+    });
+    util::LineChannel ch(client_end.get());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    bool ok = ch.write_line(
+        serve::submit_request("bench", api::spec_to_json(spec), "bench"));
+    std::string line;
+    ok = ok && ch.read_line(line);
+    if (!ok || line.find("\"ok\":true") == std::string::npos) {
+      std::fprintf(stderr, "bench_sweep: sharded submit failed: %s\n", line.c_str());
+    } else if (ch.write_line(serve::results_request("bench", 0, /*wait=*/true))) {
+      while (ch.read_line(line)) {
+        if (line.compare(0, 12, "{\"scenario\":") == 0) {
+          out.digest ^= fnv1a(line);
+          ++out.rows;
+          continue;
+        }
+        break;  // the end record (or an error line, caught by the row gate)
+      }
+      out.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      out.worst_seconds = out.seconds;
+    }
+    client_end.reset();
+    handler.join();
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
   return out;
 }
 
@@ -168,16 +332,51 @@ int main(int argc, char** argv) {
   // measured noise floor, reported next to every ratio built from these
   // times.
   const long reps = std::max(1L, cli.get_long("reps", 5));
+  const long shards = std::max(0L, cli.get_long("shards", 0));
+
+  // Sharded-arm byte reference: the row-byte fold of one plain shared run.
+  // Computed before the timed loop (the extra pass must not perturb it).
+  std::uint64_t row_reference_digest = 0;
+  std::size_t row_reference_rows = 0;
+  std::filesystem::path shard_tmp;
+  if (shards > 0) {
+    api::Session session(spec.options);
+    RowDigestSink row_digest;
+    session.run(spec, {&row_digest});
+    row_reference_digest = row_digest.digest();
+    row_reference_rows = row_digest.rows();
+    shard_tmp = std::filesystem::temp_directory_path() /
+                ("tcgrid_bench_sweep_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(shard_tmp);
+  }
+
   SweepTiming live_t;
   SweepTiming shared_t;
   SweepTiming obs_t;
   SweepTiming batch_t;
   WarmPassTiming warm_t;
+  ShardedTiming sharded_t;
   for (long r = 0; r < reps; ++r) {
     const SweepTiming l = run_sweep(live);
     const SweepTiming s = run_sweep(spec);
     const SweepTiming b = run_sweep(batched);
     const WarmPassTiming w = run_warm_pass(spec);
+    if (shards > 0) {
+      const ShardedTiming sh = run_sharded(spec, shards, shard_tmp, r);
+      if (sh.rows != row_reference_rows || sh.digest != row_reference_digest) {
+        std::fprintf(stderr,
+                     "bench_sweep: sharded arm diverged from the single-process "
+                     "row bytes (%zu rows vs %zu)\n",
+                     sh.rows, row_reference_rows);
+        return 2;
+      }
+      if (r == 0) {
+        sharded_t = sh;
+      } else {
+        sharded_t.seconds = std::min(sharded_t.seconds, sh.seconds);
+        sharded_t.worst_seconds = std::max(sharded_t.worst_seconds, sh.seconds);
+      }
+    }
     // The shared sweep with obs metric updates enabled — the
     // instrumented-path overhead measurement. Interleaved with the other
     // arms so all four see the same machine noise.
@@ -249,6 +448,16 @@ int main(int argc, char** argv) {
   const double batch_rate = static_cast<double>(batch_t.rows) / batch_t.seconds;
   const double batch_speedup = shared_t.seconds / batch_t.seconds;
 
+  // Sharded arm: speedup over the SAME single-threaded shared arm, and
+  // efficiency per shard (1.0 = perfect linear scaling).
+  const double sharded_rate =
+      sharded_t.seconds > 0.0 ? static_cast<double>(sharded_t.rows) / sharded_t.seconds
+                              : 0.0;
+  const double sharded_speedup =
+      sharded_t.seconds > 0.0 ? shared_t.seconds / sharded_t.seconds : 0.0;
+  const double scaling_efficiency =
+      shards > 0 ? sharded_speedup / static_cast<double>(shards) : 0.0;
+
   // Warm-pass deltas: the second pass's own hits, with the first pass (the
   // population run) subtracted out.
   const auto& w1 = warm_t.after_first;
@@ -266,7 +475,7 @@ int main(int argc, char** argv) {
   const double warm_speedup = warm_t.first_seconds / warm_t.warm_seconds;
 
   namespace json = util::json;
-  const json::Value artifact = json::Object{
+  json::Object artifact_obj{
       {"bench", "sweep_shared_realizations"},
       {"sweep", json::Object{{"m", spec.grid.ms[0]},
                              {"scenarios_per_cell", spec.grid.scenarios_per_cell},
@@ -309,6 +518,24 @@ int main(int argc, char** argv) {
                                    {"bytes", cs.bytes}}},
       {"identical", identical},
   };
+  // Host hardware threads: the denominator the sharded speedup must be
+  // read against — shard processes are CPU-bound, so on a host with fewer
+  // than shards+1 cores they timeshare and ~1.0x is the expected (honest)
+  // ceiling, while >= shards+1 cores is where speedup_vs_shared approaches
+  // the shard count.
+  const std::size_t cores = std::max(1u, std::thread::hardware_concurrency());
+  if (shards > 0) {
+    artifact_obj.emplace_back(
+        "sharded", json::Object{{"shards", shards},
+                                {"cores", cores},
+                                {"seconds", sharded_t.seconds},
+                                {"rows_per_sec", sharded_rate},
+                                {"speedup_vs_shared", sharded_speedup},
+                                {"scaling_efficiency", scaling_efficiency},
+                                {"rows", sharded_t.rows},
+                                {"digest_match", true}});
+  }
+  const json::Value artifact(std::move(artifact_obj));
   if (const int rc = bench::write_json_artifact("bench_sweep", path, artifact);
       rc != 0) {
     return rc;
@@ -338,5 +565,15 @@ int main(int argc, char** argv) {
                "entries (%.1f%% hit rate)  %zu survival entries  %zu bytes\n",
                cs.chains, cs.intern_hits, cs.set_entries, 100.0 * set_hit_rate,
                cs.survival_entries, cs.bytes);
+  if (shards > 0) {
+    std::fprintf(stderr,
+                 "bench_sweep: sharded (%ld shards, %zu cores) %.3fs (%.0f "
+                 "rows/s)  x%.2f vs shared  efficiency %.0f%%  row bytes "
+                 "identical\n",
+                 shards, cores, sharded_t.seconds, sharded_rate, sharded_speedup,
+                 100.0 * scaling_efficiency);
+    std::error_code ec;
+    std::filesystem::remove_all(shard_tmp, ec);
+  }
   return identical ? 0 : 2;  // CI fails on any digest divergence
 }

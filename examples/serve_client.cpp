@@ -12,7 +12,11 @@
 //   serve_client cancel   --socket S --job ID
 //   serve_client counters --socket S [--json]
 //   serve_client metrics  --socket S [--json | --prometheus]
+//   serve_client register --socket S --shard ADDR
 //
+// --socket accepts a unix path or "tcp:HOST:PORT" (any daemon started with
+// --listen-tcp). `register` tells a coordinator daemon to start leasing
+// units to the shard daemon at ADDR — the runtime way to grow the fleet.
 // `submit --follow` submits, then streams rows until the job is terminal —
 // the one-command equivalent of run_experiment against a warm daemon.
 // `counters` and `metrics` render aligned tables for humans by default;
@@ -41,13 +45,15 @@ using tcgrid::util::LineChannel;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: serve_client <submit|status|results|cancel|counters|metrics> --socket PATH ...\n"
+      "usage: serve_client <submit|status|results|cancel|counters|metrics|register> --socket PATH ...\n"
       "  submit   --tenant T (--spec FILE | --reduced M [--cap N]) [--job ID] [--follow]\n"
       "  status   --job ID\n"
       "  results  --job ID [--from N] [--wait]\n"
       "  cancel   --job ID\n"
       "  counters [--json]\n"
-      "  metrics  [--json | --prometheus]\n");
+      "  metrics  [--json | --prometheus]\n"
+      "  register --shard ADDR   (tell a coordinator to lease to the shard at ADDR)\n"
+      "  PATH is a unix socket path or tcp:HOST:PORT\n");
   std::exit(2);
 }
 
@@ -112,7 +118,18 @@ void print_counters_table(const json::Value& v) {
                 uint_cell(*fleet, "inflight_units").c_str(),
                 uint_cell(*fleet, "busy_workers").c_str());
   }
-  std::printf("\n\n");
+  std::printf("\n");
+  if (const json::Value* coord = v.find("coordinator"); coord != nullptr) {
+    std::printf(
+        "coordinator: shards %s (%s live)  leased %s  stolen %s  "
+        "re-dispatched %s  duplicate commits %s\n",
+        uint_cell(*coord, "shards").c_str(), uint_cell(*coord, "live_shards").c_str(),
+        uint_cell(*coord, "leased_units").c_str(),
+        uint_cell(*coord, "stolen_units").c_str(),
+        uint_cell(*coord, "redispatched_units").c_str(),
+        uint_cell(*coord, "duplicate_commits").c_str());
+  }
+  std::printf("\n");
   tcgrid::util::Table table({"tenant", "jobs", "units", "rows", "inflight",
                              "draining", "evictions", "chains", "set hits",
                              "store bytes"});
@@ -175,7 +192,7 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
 
-  std::string socket_path, tenant, spec_file, job;
+  std::string socket_path, tenant, spec_file, job, shard;
   int reduced_m = 0;
   long cap = 200'000;
   std::size_t from = 0;
@@ -198,11 +215,12 @@ int main(int argc, char** argv) {
       else if (arg == "--wait") wait = true;
       else if (arg == "--json") raw_json = true;
       else if (arg == "--prometheus") prometheus = true;
+      else if (arg == "--shard") shard = next();
       else usage();
     }
     if (socket_path.empty()) usage();
 
-    tcgrid::util::Fd fd = tcgrid::util::connect_unix(socket_path);
+    tcgrid::util::Fd fd = tcgrid::util::connect_address(socket_path);
     LineChannel ch(fd.get());
 
     if (command == "submit") {
@@ -260,6 +278,12 @@ int main(int argc, char** argv) {
       } else {
         print_metrics_table(json::parse(response));
       }
+    } else if (command == "register") {
+      if (shard.empty()) usage();
+      const std::string response =
+          roundtrip(ch, tcgrid::serve::register_request(shard));
+      check_ok(response);
+      std::printf("%s\n", response.c_str());
     } else {
       usage();
     }

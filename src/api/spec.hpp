@@ -18,6 +18,32 @@
 
 namespace tcgrid::api {
 
+// ---------------------------------------------------------- unit addressing ----
+// The stable id of one (scenario, trial) work unit. Every executor that
+// partitions a sweep — Session::run's queue, the serve daemon's dispatch
+// bitmap and units.log commit records, and the shard coordinator's leases —
+// addresses units by this SAME flat index, so a unit id written by one
+// process (a shard's checkpoint, a coordinator's lease) means the identical
+// simulation in every other process running the same spec. The encoding is
+// trial-minor: all trials of scenario 0 first, then scenario 1, matching the
+// trial-major replay order that keeps availability realizations hot.
+
+/// unit = scenario * trials + trial.
+[[nodiscard]] constexpr std::size_t unit_index(std::size_t scenario, std::size_t trial,
+                                               std::size_t trials) noexcept {
+  return scenario * trials + trial;
+}
+/// Inverse of unit_index: the scenario coordinate.
+[[nodiscard]] constexpr std::size_t unit_scenario(std::size_t unit,
+                                                  std::size_t trials) noexcept {
+  return unit / trials;
+}
+/// Inverse of unit_index: the trial coordinate.
+[[nodiscard]] constexpr std::size_t unit_trial(std::size_t unit,
+                                               std::size_t trials) noexcept {
+  return unit % trials;
+}
+
 /// The paper's factorial scenario grid (§VII-A): the cross product of
 /// m x ncom x wmin, with `scenarios_per_cell` random scenarios per cell.
 /// Scenario seeds are derived from Options::seed, so a grid is reproducible.
@@ -59,6 +85,13 @@ struct ExperimentSpec {
 
   /// The resolved heuristic set (all 17 when `heuristics` is empty).
   [[nodiscard]] const std::vector<std::string>& resolved_heuristics() const;
+
+  /// Number of (scenario, trial) units in this spec — the exclusive upper
+  /// bound of the unit_index address space. Materializes scenarios() to
+  /// count them; cache the result on hot paths.
+  [[nodiscard]] std::size_t unit_count() const {
+    return scenarios().size() * static_cast<std::size_t>(trials);
+  }
 
   /// Validate the spec before any simulation runs: every heuristic name must
   /// be registered and the counts positive. Throws std::invalid_argument

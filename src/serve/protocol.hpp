@@ -14,6 +14,35 @@
 //   {"op":"counters"}                                    -> counters
 //   {"op":"metrics","format":"json"|"prometheus"?}       -> metrics
 //
+// Shard ops (DESIGN.md §15) — spoken between a coordinator and stock
+// daemons; any tcgrid_serve answers them:
+//   {"op":"register"}            -> {"ok":true,"type":"registered",
+//                                    "threads":N,"eps":E,"coordinator":B}
+//      Handshake: the coordinator validates eps compatibility and sizes the
+//      shard's lease-slot pool from "threads".
+//   {"op":"register","shard":A}  -> shard_registered (coordinator only):
+//      dynamically add the daemon at address A (unix path, "unix:PATH" or
+//      "tcp:HOST:PORT") to the coordinator's shard fleet.
+//   {"op":"heartbeat"}           -> {"ok":true,"type":"pong"}
+//      Liveness probe on the coordinator's per-shard monitor connection; a
+//      missed deadline expires every lease held by that shard.
+//   {"op":"lease","job":REF,"tenant":T,"units":[u...],"spec":{...}?}
+//      Execute the listed (scenario, trial) units — api::unit_index ids
+//      against the spec — and stream, per completed unit,
+//        {"ok":true,"type":"unit","unit":u,"rows":H}
+//      followed by exactly H raw result-row lines (row_line bytes, NOT
+//      JSON-escaped — identical bytes to what a local worker would commit),
+//      then one terminal {"ok":true,"type":"lease_done","units":N}. REF is
+//      an opaque per-connection job reference: the spec rides along on the
+//      first lease of a REF on this connection and is cached for the rest;
+//      a lease for an unknown REF without a spec fails with "need_spec":
+//      true, telling the coordinator to resend with the spec attached. A
+//      unit that fails to execute yields {"ok":false,"type":"unit_failed",
+//      "unit":u,"error":...} and aborts the lease. The shard does NOT
+//      checkpoint lease units — durability lives in the coordinator's
+//      merged commit log; purity of rows makes re-execution after any
+//      failure byte-identical.
+//
 // This header holds what both sides share: the identifier grammar, the
 // client-side request builders (used by the client CLI and the protocol
 // tests) and the deterministic result-row serialization. Row bytes are a
@@ -26,6 +55,7 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "platform/scenario.hpp"
 #include "sim/stats.hpp"
@@ -53,6 +83,12 @@ namespace tcgrid::serve {
                                          const util::json::Value& spec,
                                          std::string_view job = {});
 [[nodiscard]] std::string status_request(std::string_view job);
+/// `from` indexes the daemon's COMMIT order — identical to the job's
+/// rows.jsonl line order, so it is stable across daemon restarts. On a
+/// coordinator that is the merged commit order (the order units' rows
+/// landed in the merged checkpoint, whichever shard served them): a client
+/// that streamed N rows and reconnects with from=N never re-reads or skips
+/// a row, coordinator restart included (tests/shard_test.cpp).
 [[nodiscard]] std::string results_request(std::string_view job, std::size_t from,
                                           bool wait);
 [[nodiscard]] std::string cancel_request(std::string_view job);
@@ -61,5 +97,18 @@ namespace tcgrid::serve {
 /// exposition as one string under "prometheus" — the protocol is
 /// line-based, so the text rides inside the JSON response).
 [[nodiscard]] std::string metrics_request(std::string_view format = "json");
+
+// ---------------------------------------------------- shard-side builders ----
+
+/// Handshake (no shard address) when `shard` is empty; otherwise the
+/// coordinator-side dynamic registration of the daemon at that address.
+[[nodiscard]] std::string register_request(std::string_view shard = {});
+[[nodiscard]] std::string heartbeat_request();
+/// `spec_json` is the canonical spec dump (api::spec_to_json) or empty to
+/// rely on the receiving connection's REF cache. Spliced verbatim — the
+/// coordinator dumps a job's spec once, not per lease.
+[[nodiscard]] std::string lease_request(std::string_view job_ref, std::string_view tenant,
+                                        const std::vector<std::size_t>& units,
+                                        std::string_view spec_json = {});
 
 }  // namespace tcgrid::serve

@@ -12,6 +12,7 @@
 #include "obs/obs.hpp"
 #include "scen/registry.hpp"
 #include "serve/protocol.hpp"
+#include "serve/shard.hpp"
 
 namespace tcgrid::serve {
 
@@ -55,6 +56,14 @@ struct Server::Job {
   std::size_t units_done = 0;
   std::size_t inflight = 0;
   std::size_t next_scan = 0;  ///< first possibly-pending unit (scan hint)
+
+  // Coordinator-mode dispatch state (empty/null on a plain daemon).
+  /// Live leases per unit — at most 2 (the original claim plus one steal).
+  /// A kInFlight unit stays in flight until its LAST lease resolves.
+  std::vector<std::uint8_t> lease_count;
+  /// Canonical spec JSON, attached to the first lease of this job sent on
+  /// each shard connection (see protocol.hpp lease op).
+  std::shared_ptr<const std::string> spec_json;
 
   std::vector<std::string> rows;  ///< committed rows, completion order
   /// Publication stamp (steady µs) of rows[i] — what the per-tenant
@@ -114,6 +123,13 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     update_fleet_gauges();
+  }
+  if (options_.coordinator) {
+    // Coordinator role: no local fleet — a ShardFleet pulls units from the
+    // same queue the workers would have and leases them to shard daemons.
+    shard_fleet_ = std::make_unique<ShardFleet>(*this, options_.shard);
+    shard_fleet_->start();
+    return;
   }
   std::size_t n = options_.threads;
   if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -194,6 +210,11 @@ std::string Server::register_job(const std::string& job_id, const std::string& t
   job->options = spec.options;
   job->spec = std::move(spec);
   job->ckpt = std::move(ckpt);
+  if (options_.coordinator) {
+    job->lease_count.assign(job->units_total, 0);
+    job->spec_json =
+        std::make_shared<const std::string>(json::dump(api::spec_to_json(job->spec)));
+  }
 
   const bool cancelled = !fresh && job->ckpt->is_cancelled();
   if (!fresh) {
@@ -266,21 +287,7 @@ std::shared_ptr<Server::Job> Server::claim_unit(std::size_t& unit_out) {
     const std::shared_ptr<Job>& job = jobs_[job_order_[idx]];
     if (job->terminal() || job->cancel_requested) continue;
     Tenant& tenant = *tenants_[job->tenant];
-    if (tenant.draining) {
-      // Over chain-store quota: evict as soon as the last in-flight unit of
-      // this tenant drains, then resume dispatch. clear_caches() is safe
-      // here precisely because nothing of this tenant is running.
-      if (tenant.inflight > 0) continue;
-      tenant.session->clear_caches();
-      tenant.draining = false;
-      tenant.evictions += 1;
-      tenant.evictions_total.inc();
-      if (obs::Tracer::instance().active()) {
-        obs::Tracer::instance().emit(
-            "serve_evict", {{"tenant", tenant.name},
-                            {"eviction", static_cast<unsigned long long>(tenant.evictions)}});
-      }
-    }
+    if (!evict_if_drained(tenant)) continue;
     while (job->next_scan < job->units_total &&
            job->unit_state[job->next_scan] != Job::kPending) {
       ++job->next_scan;
@@ -295,6 +302,223 @@ std::shared_ptr<Server::Job> Server::claim_unit(std::size_t& unit_out) {
     return job;
   }
   return nullptr;
+}
+
+bool Server::evict_if_drained(Tenant& tenant) {
+  // Over chain-store quota: evict as soon as the last in-flight unit of
+  // this tenant drains, then resume dispatch. clear_caches() is safe here
+  // precisely because nothing of this tenant is running — tenant.inflight
+  // counts local worker units AND lease units (handle_lease).
+  if (!tenant.draining) return true;
+  if (tenant.inflight > 0) return false;
+  tenant.session->clear_caches();
+  tenant.draining = false;
+  tenant.evictions += 1;
+  tenant.evictions_total.inc();
+  if (obs::Tracer::instance().active()) {
+    obs::Tracer::instance().emit(
+        "serve_evict", {{"tenant", tenant.name},
+                        {"eviction", static_cast<unsigned long long>(tenant.evictions)}});
+  }
+  return true;
+}
+
+// ------------------------------------------- coordinator dispatch surface ----
+
+Server::Lease Server::make_lease(const std::shared_ptr<Job>& job, std::size_t unit,
+                                 bool stolen) {
+  Lease lease;
+  lease.job = job;
+  lease.job_id = job->id;
+  lease.tenant = job->tenant;
+  lease.spec_json = job->spec_json;
+  lease.unit = unit;
+  lease.stolen = stolen;
+  return lease;
+}
+
+std::optional<Server::Lease> Server::steal_locked() {
+  // Tail stealing: duplicate-claim an in-flight unit carrying exactly one
+  // live lease. Same round-robin fairness as claim_unit; the lease cap of 2
+  // bounds duplicated work to one extra execution per straggler.
+  const std::size_t n = job_order_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = (rr_cursor_ + step) % n;
+    const std::shared_ptr<Job>& job = jobs_[job_order_[idx]];
+    if (job->terminal() || job->cancel_requested || job->lease_count.empty()) continue;
+    for (std::size_t u = 0; u < job->units_total; ++u) {
+      if (job->unit_state[u] == Job::kInFlight && job->lease_count[u] == 1) {
+        job->lease_count[u] = 2;
+        return make_lease(job, u, /*stolen=*/true);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Server::Lease> Server::claim_locked(bool allow_steal) {
+  std::size_t unit = 0;
+  if (std::shared_ptr<Job> job = claim_unit(unit)) {
+    if (!job->lease_count.empty()) job->lease_count[unit] = 1;
+    return make_lease(job, unit, /*stolen=*/false);
+  }
+  return allow_steal ? steal_locked() : std::nullopt;
+}
+
+std::optional<Server::Lease> Server::claim_for_dispatch(bool allow_steal) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::optional<Lease> lease;
+  work_cv_.wait(lock, [&] {
+    if (stopping_) return true;
+    lease = claim_locked(allow_steal);
+    return lease.has_value();
+  });
+  if (!lease.has_value()) return std::nullopt;  // woken by stop
+  update_fleet_gauges();
+  return lease;
+}
+
+std::optional<Server::Lease> Server::try_claim_for_dispatch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return std::nullopt;
+  std::optional<Lease> lease = claim_locked(/*allow_steal=*/false);
+  if (lease.has_value()) update_fleet_gauges();
+  return lease;
+}
+
+std::optional<Server::Lease> Server::try_claim_sibling(const Lease& held) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return std::nullopt;
+  const std::shared_ptr<Job>& job = held.job;
+  if (job->terminal() || job->cancel_requested || job->trials == 0) return std::nullopt;
+  Tenant& tenant = *tenants_[job->tenant];
+  if (tenant.draining) return std::nullopt;  // don't extend into an eviction
+  const std::size_t scenario = held.unit / job->trials;
+  const std::size_t lo = scenario * job->trials;
+  const std::size_t hi = std::min(lo + job->trials, job->units_total);
+  for (std::size_t u = lo; u < hi; ++u) {
+    if (job->unit_state[u] != Job::kPending) continue;
+    job->unit_state[u] = Job::kInFlight;
+    job->inflight += 1;
+    tenant.inflight += 1;
+    if (!job->lease_count.empty()) job->lease_count[u] = 1;
+    if (job->state == Job::State::Queued) job->state = Job::State::Running;
+    update_fleet_gauges();
+    return make_lease(job, u, /*stolen=*/false);
+  }
+  return std::nullopt;
+}
+
+Server::RemoteCommit Server::commit_remote_unit(const Lease& lease,
+                                                std::vector<std::string> rows,
+                                                std::uint64_t claimed_us) {
+  const std::shared_ptr<Job>& job = lease.job;
+  std::lock_guard<std::mutex> io_lock(job->io_mutex);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Abandon instead of committing once stopping: hard_stop() promises
+    // kill -9 semantics (nothing new becomes durable after it returns —
+    // the fleet threads are joined before hard_stop returns).
+    if (stopping_) return RemoteCommit::Stopped;
+    if (job->unit_state[lease.unit] == Job::kDone) {
+      // A racing lease of this unit won. kDone is authoritative here: the
+      // winner set it before releasing io_mutex, so holding io_mutex and
+      // NOT seeing kDone means no other commit of the unit can exist. The
+      // dropped rows are byte-identical to the committed ones by purity.
+      return RemoteCommit::Duplicate;
+    }
+  }
+  try {
+    job->ckpt->commit_unit(lease.unit, rows);
+  } catch (const std::exception& e) {
+    fail_lease(lease, std::string("checkpoint write failed: ") + e.what());
+    return RemoteCommit::Failed;
+  }
+  std::uint64_t service_us = 0;
+  if (claimed_us != 0) service_us = obs::steady_now_us() - claimed_us;
+  const std::size_t row_count = rows.size();
+  {
+    // Publish while still holding io_mutex so the in-memory row order
+    // matches rows.jsonl's commit order exactly — the merge layer keeps
+    // the `results --from=N` offset invariant (DESIGN.md §15).
+    std::lock_guard<std::mutex> lock(mu_);
+    Tenant& tenant = *tenants_[job->tenant];
+    job->inflight -= 1;
+    tenant.inflight -= 1;
+    job->unit_state[lease.unit] = Job::kDone;
+    if (!job->lease_count.empty()) job->lease_count[lease.unit] = 0;
+    job->units_done += 1;
+    const std::uint64_t now_us = obs::steady_now_us();
+    for (std::string& row : rows) {
+      job->rows.push_back(std::move(row));
+      job->row_publish_us.push_back(now_us);
+    }
+    tenant.units_done += 1;
+    tenant.rows += row_count;
+    if (claimed_us != 0) tenant.unit_service_us.observe(service_us);
+    if (job->units_done == job->units_total && !job->terminal()) {
+      job->state = Job::State::Done;
+    }
+    // No chain-store quota check: coordinator tenant sessions never run
+    // units, so their stores stay empty — DRAINING happens on the shards.
+    finalize_if_drained(*job);
+    update_fleet_gauges();
+    rows_cv_.notify_all();
+    work_cv_.notify_all();
+  }
+  if (obs::Tracer::instance().active()) {
+    obs::Tracer::instance().emit(
+        "coord_commit", {{"job", job->id},
+                         {"unit", static_cast<unsigned long long>(lease.unit)},
+                         {"stolen", lease.stolen},
+                         {"us", static_cast<unsigned long long>(service_us)}});
+  }
+  return RemoteCommit::Committed;
+}
+
+void Server::return_lease(const Lease& lease) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<Job>& job = lease.job;
+  if (job->unit_state[lease.unit] != Job::kInFlight) return;  // already committed
+  if (!job->lease_count.empty() && job->lease_count[lease.unit] > 1) {
+    // The other lease of this unit is still live — it finishes or expires
+    // on its own; the unit stays in flight.
+    job->lease_count[lease.unit] -= 1;
+    return;
+  }
+  if (!job->lease_count.empty()) job->lease_count[lease.unit] = 0;
+  job->unit_state[lease.unit] = Job::kPending;
+  job->next_scan = std::min(job->next_scan, lease.unit);
+  job->inflight -= 1;
+  tenants_[job->tenant]->inflight -= 1;
+  finalize_if_drained(*job);
+  update_fleet_gauges();
+  work_cv_.notify_all();
+  rows_cv_.notify_all();
+}
+
+void Server::fail_lease(const Lease& lease, const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<Job>& job = lease.job;
+  if (job->unit_state[lease.unit] == Job::kInFlight) {
+    if (!job->lease_count.empty() && job->lease_count[lease.unit] > 1) {
+      job->lease_count[lease.unit] -= 1;
+    } else {
+      if (!job->lease_count.empty()) job->lease_count[lease.unit] = 0;
+      job->unit_state[lease.unit] = Job::kPending;  // dropped, not committed
+      job->next_scan = std::min(job->next_scan, lease.unit);
+      job->inflight -= 1;
+      tenants_[job->tenant]->inflight -= 1;
+    }
+  }
+  if (!job->terminal()) {
+    job->state = Job::State::Failed;
+    job->error = error;
+  }
+  finalize_if_drained(*job);
+  update_fleet_gauges();
+  rows_cv_.notify_all();
+  work_cv_.notify_all();
 }
 
 void Server::finalize_if_drained(Job& job) {
@@ -324,8 +548,8 @@ void Server::worker_loop() {
     }
     const std::uint64_t claimed_us = obs::enabled() ? obs::steady_now_us() : 0;
 
-    const std::size_t sc = unit / job->trials;
-    const int trial = static_cast<int>(unit % job->trials);
+    const std::size_t sc = api::unit_scenario(unit, job->trials);
+    const int trial = static_cast<int>(api::unit_trial(unit, job->trials));
     Tenant& tenant = [&]() -> Tenant& {
       std::lock_guard<std::mutex> lock(mu_);
       return *tenants_[job->tenant];
@@ -449,6 +673,27 @@ void Server::worker_loop() {
 
 // ---------------------------------------------------------------- requests ----
 
+std::string Server::spec_gate_error(const api::ExperimentSpec& spec) const {
+  // Session-level knobs a per-job spec cannot change (DESIGN.md §11):
+  // reject loudly rather than silently diverge from what would run. Shared
+  // by submit and lease — a shard enforces the same gates a front door
+  // would, so a coordinator/shard eps mismatch fails fast instead of
+  // merging bit-divergent rows.
+  if (spec.options.eps != options_.eps) {
+    return "spec.options.eps: must equal the daemon's session eps (" +
+           std::to_string(options_.eps) + ")";
+  }
+  if (!spec.options.shared_chain_stats) {
+    return "spec.options.shared_chain_stats: the daemon always shares the tenant "
+           "session's chain store";
+  }
+  if (spec.options.record_trace) {
+    return "spec.options.record_trace: activity traces are not streamable over the "
+           "serve protocol";
+  }
+  return {};
+}
+
 std::string Server::handle_submit(const json::Value& req) {
   const json::Value* tenant_v = req.find("tenant");
   if (tenant_v == nullptr || !tenant_v->is_string() ||
@@ -466,22 +711,7 @@ std::string Server::handle_submit(const json::Value& req) {
   } catch (const std::invalid_argument& e) {
     return error_line(e.what());
   }
-  // Session-level knobs a per-job spec cannot change (DESIGN.md §11):
-  // reject loudly rather than silently diverge from what would run.
-  if (spec.options.eps != options_.eps) {
-    return error_line("spec.options.eps: must equal the daemon's session eps (" +
-                      std::to_string(options_.eps) + ")");
-  }
-  if (!spec.options.shared_chain_stats) {
-    return error_line(
-        "spec.options.shared_chain_stats: the daemon always shares the tenant "
-        "session's chain store");
-  }
-  if (spec.options.record_trace) {
-    return error_line(
-        "spec.options.record_trace: activity traces are not streamable over the "
-        "serve protocol");
-  }
+  if (std::string gate = spec_gate_error(spec); !gate.empty()) return error_line(gate);
 
   std::string job_id;
   if (const json::Value* job_v = req.find("job"); job_v != nullptr) {
@@ -652,7 +882,7 @@ std::string Server::handle_counters() {
     tenants.emplace_back(name, std::move(tenant_obj));
   }
   const FleetState fs = fleet_state();
-  return json::dump(json::Object{
+  json::Object response{
       {"ok", true},
       {"type", "counters"},
       {"threads", static_cast<unsigned long long>(workers_.size())},
@@ -664,7 +894,25 @@ std::string Server::handle_counters() {
            {"busy_workers", static_cast<unsigned long long>(fs.busy_workers)},
        }},
       {"tenants", std::move(tenants)},
-  });
+  };
+  if (shard_fleet_ != nullptr) {
+    // Lock order: ShardFleet never calls back into the server while holding
+    // its own mutex, so mu_ -> fleet mu_ here cannot invert anywhere.
+    const ShardFleet::Counters c = shard_fleet_->counters();
+    response.emplace_back(
+        "coordinator",
+        json::Object{
+            {"shards", static_cast<unsigned long long>(c.shards)},
+            {"live_shards", static_cast<unsigned long long>(c.live_shards)},
+            {"leased_units", static_cast<unsigned long long>(c.leased_units)},
+            {"stolen_units", static_cast<unsigned long long>(c.stolen_units)},
+            {"redispatched_units",
+             static_cast<unsigned long long>(c.redispatched_units)},
+            {"duplicate_commits",
+             static_cast<unsigned long long>(c.duplicate_commits)},
+        });
+  }
+  return json::dump(std::move(response));
 }
 
 std::string Server::handle_metrics(const json::Value& req) {
@@ -775,8 +1023,207 @@ void Server::handle_results(const json::Value& req, util::LineChannel& ch) {
   }
 }
 
+// -------------------------------------------------------------- shard verbs ----
+
+std::string Server::handle_register(const json::Value& req) {
+  if (const json::Value* shard_v = req.find("shard"); shard_v != nullptr) {
+    // Runtime shard registration — only a coordinator has a fleet to grow.
+    if (!shard_v->is_string() || shard_v->as_string().empty()) {
+      return error_line("shard: expected a non-empty address string");
+    }
+    if (shard_fleet_ == nullptr) {
+      return error_line(
+          "shard: this daemon is not a coordinator (start it with --coordinator)");
+    }
+    shard_fleet_->add_shard(shard_v->as_string());
+    return json::dump(json::Object{
+        {"ok", true}, {"type", "shard_registered"}, {"shard", shard_v->as_string()}});
+  }
+  // Plain handshake: what a coordinator needs to size and gate a shard.
+  return json::dump(json::Object{
+      {"ok", true},
+      {"type", "registered"},
+      {"threads", static_cast<unsigned long long>(workers_.size())},
+      {"eps", options_.eps},
+      {"coordinator", options_.coordinator},
+  });
+}
+
+/// Everything handle_lease resolves once per (connection, job ref): the
+/// validated spec and its derived execution state — the same fields a local
+/// Job carries, minus checkpoint/dispatch bookkeeping (lease units are NOT
+/// checkpointed here; durability lives in the coordinator's merge log).
+struct Server::LeaseContext {
+  std::string tenant;
+  api::ExperimentSpec spec;
+  api::Options options;  ///< spec.options with the tenant's quota clamp
+  std::vector<platform::ScenarioParams> scenarios;
+  std::vector<std::string> heuristics;
+  std::shared_ptr<const scen::AvailabilityFamily> avail_family;
+  std::shared_ptr<const scen::PlatformFamily> plat_family;
+  std::size_t trials = 0;
+  std::size_t units_total = 0;
+};
+
+void Server::handle_lease(const json::Value& req, util::LineChannel& ch,
+                          LeaseCache& cache) {
+  const json::Value* job_v = req.find("job");
+  if (job_v == nullptr || !job_v->is_string() || job_v->as_string().empty()) {
+    ch.write_line(error_line("job: required (opaque lease reference)"));
+    return;
+  }
+  const std::string ref = job_v->as_string();
+  const json::Value* tenant_v = req.find("tenant");
+  if (tenant_v == nullptr || !tenant_v->is_string() ||
+      !valid_identifier(tenant_v->as_string())) {
+    ch.write_line(error_line("tenant: required, [A-Za-z0-9._-]{1,64}, no leading dot"));
+    return;
+  }
+  const json::Value* units_v = req.find("units");
+  if (units_v == nullptr || !units_v->is_array()) {
+    ch.write_line(error_line("units: required array of unit ids"));
+    return;
+  }
+
+  std::shared_ptr<LeaseContext> ctx;
+  if (const auto it = cache.find(ref); it != cache.end()) ctx = it->second;
+  if (ctx == nullptr) {
+    const json::Value* spec_v = req.find("spec");
+    if (spec_v == nullptr) {
+      // Machine-readable cue: the coordinator resends with the spec
+      // attached instead of string-matching the error.
+      ch.write_line(json::dump(json::Object{
+          {"ok", false},
+          {"error", "spec: required for unknown lease reference '" + ref + "'"},
+          {"need_spec", true}}));
+      return;
+    }
+    auto fresh = std::make_shared<LeaseContext>();
+    try {
+      fresh->spec = api::spec_from_json(*spec_v);
+      fresh->spec.validate();
+    } catch (const std::invalid_argument& e) {
+      ch.write_line(error_line(e.what()));
+      return;
+    }
+    if (std::string gate = spec_gate_error(fresh->spec); !gate.empty()) {
+      ch.write_line(error_line(gate));
+      return;
+    }
+    fresh->tenant = tenant_v->as_string();
+    fresh->scenarios = fresh->spec.scenarios();
+    fresh->heuristics = fresh->spec.resolved_heuristics();
+    fresh->avail_family = scen::availability_family(fresh->spec.scenario_space.availability);
+    fresh->plat_family = scen::platform_family(fresh->spec.scenario_space.platform);
+    fresh->trials = static_cast<std::size_t>(fresh->spec.trials);
+    fresh->units_total = fresh->scenarios.size() * fresh->trials;
+    fresh->options = fresh->spec.options;
+    {
+      // The tenant's realization-budget quota clamps lease work exactly as
+      // it clamps locally submitted jobs.
+      std::lock_guard<std::mutex> lock(mu_);
+      Tenant& tenant = tenant_for(fresh->tenant);
+      fresh->options.realization_budget =
+          std::min(fresh->options.realization_budget, tenant.quota.realization_budget);
+    }
+    cache.emplace(ref, fresh);
+    ctx = std::move(fresh);
+  }
+
+  std::vector<std::size_t> units;
+  units.reserve(units_v->as_array().size());
+  for (const json::Value& u : units_v->as_array()) {
+    if (!u.is_integer() || u.as_uint() >= ctx->units_total) {
+      ch.write_line(error_line("units: unit id out of range for the lease spec"));
+      return;
+    }
+    units.push_back(static_cast<std::size_t>(u.as_uint()));
+  }
+
+  // Execute on THIS handler thread: the coordinator opens one connection
+  // per lease slot, so a shard's parallelism equals the slot count and the
+  // per-thread estimator caches stay warm per slot (DESIGN.md §15).
+  for (std::size_t unit : units) {
+    Tenant* tenant = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_) return;
+      tenant = &tenant_for(tenant_v->as_string());
+      // Quota DRAINING gate, same boundary as claim_unit: clear_caches is
+      // safe only with nothing of this tenant running, and tenant.inflight
+      // counts lease units too.
+      work_cv_.wait(lock, [&] { return stopping_ || evict_if_drained(*tenant); });
+      if (stopping_) return;
+      tenant->inflight += 1;
+    }
+    const std::size_t sc = api::unit_scenario(unit, ctx->trials);
+    const int trial = static_cast<int>(api::unit_trial(unit, ctx->trials));
+    std::vector<std::string> unit_rows;
+    bool failed = false;
+    std::string error;
+    try {
+      const std::vector<sim::SimulationResult> results = tenant->session->run_unit(
+          ctx->options, *ctx->avail_family, ctx->plat_family, ctx->scenarios[sc],
+          ctx->heuristics, trial);
+      unit_rows.reserve(results.size());
+      for (std::size_t h = 0; h < results.size(); ++h) {
+        unit_rows.push_back(row_line(sc, trial, h, ctx->heuristics[h],
+                                     ctx->spec.scenario_space.availability,
+                                     ctx->scenarios[sc], results[h]));
+      }
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tenant->inflight -= 1;
+      if (!failed) {
+        tenant->units_done += 1;
+        tenant->rows += unit_rows.size();
+        // Quota check at the completed-unit boundary, like the local fleet.
+        if (!tenant->draining && tenant->session->chain_store_counters().bytes >
+                                     tenant->quota.chain_store_bytes) {
+          tenant->draining = true;
+          if (obs::Tracer::instance().active()) {
+            obs::Tracer::instance().emit(
+                "serve_drain_start",
+                {{"tenant", tenant->name},
+                 {"chain_store_bytes",
+                  static_cast<unsigned long long>(
+                      tenant->session->chain_store_counters().bytes)}});
+          }
+        }
+      }
+      work_cv_.notify_all();
+    }
+    if (failed) {
+      ch.write_line(json::dump(json::Object{{"ok", false},
+                                            {"type", "unit_failed"},
+                                            {"unit", static_cast<unsigned long long>(unit)},
+                                            {"error", error}}));
+      return;
+    }
+    // Unit header + raw row lines (row_line bytes, never JSON-escaped).
+    std::string header = "{\"ok\":true,\"type\":\"unit\",\"unit\":";
+    header += std::to_string(unit);
+    header += ",\"rows\":";
+    header += std::to_string(unit_rows.size());
+    header += '}';
+    if (!ch.write_line(header)) return;  // coordinator gone; rows re-run elsewhere
+    for (const std::string& row : unit_rows) {
+      if (!ch.write_line(row)) return;
+    }
+  }
+  ch.write_line(json::dump(json::Object{
+      {"ok", true},
+      {"type", "lease_done"},
+      {"units", static_cast<unsigned long long>(units.size())}}));
+}
+
 void Server::serve_connection(int fd) {
   util::LineChannel ch(fd);
+  LeaseCache lease_cache;
   std::string line;
   while (ch.read_line(line)) {
     {
@@ -801,18 +1248,29 @@ void Server::serve_connection(int fd) {
       handle_results(req, ch);
       continue;
     }
+    if (name == "lease") {
+      handle_lease(req, ch, lease_cache);
+      continue;
+    }
     std::string response;
     if (name == "submit") response = handle_submit(req);
     else if (name == "status") response = handle_status(req);
     else if (name == "cancel") response = handle_cancel(req);
     else if (name == "counters") response = handle_counters();
     else if (name == "metrics") response = handle_metrics(req);
+    else if (name == "register") response = handle_register(req);
+    else if (name == "heartbeat")
+      response = json::dump(json::Object{{"ok", true}, {"type", "pong"}});
     else response = error_line("op: unknown op '" + name + "'");
     if (!ch.write_line(response)) return;
   }
 }
 
 void Server::serve(int listen_fd) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ++active_acceptors_;
+  }
   while (true) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -851,6 +1309,12 @@ void Server::serve(int listen_fd) {
       conn_cv_.notify_all();
     }).detach();
   }
+  // A just-accepted connection is registered in active_conns_ before this
+  // decrement, so once the acceptor count drains there are no connections
+  // hard_stop()'s wait cannot see.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  --active_acceptors_;
+  conn_cv_.notify_all();
 }
 
 void Server::hard_stop() {
@@ -864,14 +1328,21 @@ void Server::hard_stop() {
   }
   work_cv_.notify_all();
   rows_cv_.notify_all();
+  // Fleet first: slot threads blocked on work_cv_ wake on stopping_; the
+  // ones blocked in shard I/O are unblocked by the fleet's fd shutdowns.
+  if (shard_fleet_) shard_fleet_->stop();
   {
     // Unblock connection handlers parked in read_line / streaming writes.
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   for (std::thread& t : workers_) t.join();
+  // Acceptors too: one may hold an accepted-but-unregistered connection
+  // active_conns_ does not count yet. They exit within one poll timeout of
+  // stopping_ (and register any such connection first), after which the
+  // handler drain below is airtight.
   std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [&] { return active_conns_ == 0; });
+  conn_cv_.wait(lock, [&] { return active_conns_ == 0 && active_acceptors_ == 0; });
 }
 
 // ----------------------------------------------------------- introspection ----

@@ -34,6 +34,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -61,9 +62,41 @@ struct TenantQuota {
   std::size_t chain_store_bytes = 512ull << 20;
 };
 
+/// Knobs of the coordinator's shard fleet (DESIGN.md §15). Only read when
+/// ServerOptions::coordinator is true.
+struct ShardOptions {
+  /// Shard daemon addresses: a unix socket path, "unix:PATH" or
+  /// "tcp:HOST:PORT". More shards can join at runtime via the `register`
+  /// verb with a "shard" field.
+  std::vector<std::string> shards;
+  /// Concurrent lease slots per shard; 0 sizes the pool from the shard's
+  /// registered worker-thread count (its --threads).
+  std::size_t slots_per_shard = 0;
+  /// Fresh units per lease request. 1 (the default) is maximal
+  /// work-stealing: every unit is pulled the moment a slot idles, so
+  /// stragglers never hold queued work hostage. Larger batches amortize
+  /// round trips at the cost of tail balance. Independently of this knob a
+  /// batch always absorbs the remaining pending trials of each claimed
+  /// scenario (Server::try_claim_sibling) — whole scenarios travel to one
+  /// shard so its per-scenario estimator cache is built once.
+  std::size_t lease_batch = 1;
+  /// Duplicate-dispatch an in-flight unit to an idle slot when nothing is
+  /// pending (classic tail stealing; the first completion wins, the loser
+  /// commits nothing).
+  bool steal = true;
+  long heartbeat_interval_ms = 1000;  ///< monitor probe period
+  long heartbeat_timeout_ms = 5000;   ///< missed-pong deadline -> leases expire
+};
+
 struct ServerOptions {
   std::string root;            ///< checkpoint root directory (required)
   std::size_t threads = 0;     ///< worker fleet size (0 = hardware)
+  /// Coordinator role (DESIGN.md §15): no local worker fleet — every unit
+  /// of every job is dispatched as a lease to the shard daemons in `shard`,
+  /// their streamed rows merged into this server's own checkpoint. The
+  /// client-facing verbs are unchanged; `threads` is ignored.
+  bool coordinator = false;
+  ShardOptions shard;
   TenantQuota default_quota;   ///< applied to tenants without an override
   std::map<std::string, TenantQuota> tenant_quotas;
   /// Estimator truncation precision of every tenant session. Session-level
@@ -92,10 +125,16 @@ struct JobStatus {
   std::size_t rows_expected = 0;
 };
 
+class ShardFleet;
+
 class Server {
+  struct Job;  // declared up front so the public Lease handle can name it
+  struct Tenant;
+
  public:
   /// Loads every checkpointed job under options.root (re-queueing the
-  /// incomplete ones) and starts the worker fleet.
+  /// incomplete ones) and starts the worker fleet — or, with
+  /// options.coordinator, the shard fleet.
   explicit Server(ServerOptions options);
   /// hard_stop()s.
   ~Server();
@@ -119,6 +158,66 @@ class Server {
   /// Idempotent.
   void hard_stop();
 
+  // ------------------------------------- coordinator dispatch surface ----
+  // Used by ShardFleet's slot threads (and driven directly by the shard
+  // tests). A Lease is one claimed unit: the coordinator-side claim ticket
+  // whose completion — rows from ANY shard holding a lease on the unit —
+  // commits through commit_remote_unit. Job is opaque outside this class;
+  // the handle only keeps the job alive and identifies it on re-entry.
+
+  struct Lease {
+    std::shared_ptr<Job> job;  ///< opaque; pass back unchanged
+    std::string job_id;
+    std::string tenant;
+    /// Canonical spec JSON (api::spec_to_json dump) to attach to the first
+    /// lease of this job on a shard connection.
+    std::shared_ptr<const std::string> spec_json;
+    std::size_t unit = 0;
+    bool stolen = false;  ///< duplicate-dispatch of an in-flight unit
+  };
+
+  /// Block until a unit is dispatchable (round-robin fair across jobs, same
+  /// policy as the local fleet) or the server stops (nullopt). When nothing
+  /// is pending and `allow_steal`, duplicate-claims an in-flight unit with
+  /// a single live lease instead of waiting — tail stealing.
+  [[nodiscard]] std::optional<Lease> claim_for_dispatch(bool allow_steal);
+  /// Non-blocking claim (never steals) — lease-batch extension.
+  [[nodiscard]] std::optional<Lease> try_claim_for_dispatch();
+  /// Non-blocking claim of a pending unit from the SAME job and scenario as
+  /// a lease this caller already holds (never steals). Scenario-affine
+  /// dispatch: a scenario's estimator is cached per serving thread and is
+  /// the dominant cost of a unit (api::Session), so splitting one
+  /// scenario's trials across shards re-pays that build on every shard.
+  /// ShardFleet extends each lease batch with siblings first so whole
+  /// scenarios travel together.
+  [[nodiscard]] std::optional<Lease> try_claim_sibling(const Lease& held);
+
+  enum class RemoteCommit {
+    Committed,  ///< rows durably merged and published
+    Duplicate,  ///< another lease of the unit won; rows dropped (byte-equal
+                ///< by purity, so nothing is lost)
+    Stopped,    ///< server stopping; nothing written (kill -9 contract)
+    Failed,     ///< coordinator-side checkpoint write failed; job failed
+  };
+  /// Durably commit one completed lease: append `rows` to the coordinator's
+  /// checkpoint and publish them to `results` readers, exactly once per
+  /// unit no matter how many leases of it complete. `claimed_us` (steady
+  /// clock at claim, 0 = no obs) feeds the tenant unit-service histogram.
+  RemoteCommit commit_remote_unit(const Lease& lease, std::vector<std::string> rows,
+                                  std::uint64_t claimed_us);
+  /// Lease expiry (shard death, transport error): re-queue the unit unless
+  /// another live lease still covers it or it already committed.
+  void return_lease(const Lease& lease);
+  /// Unit EXECUTION failure on the shard (not transport): fail the job,
+  /// mirroring a local worker's failure path.
+  void fail_lease(const Lease& lease, const std::string& error);
+
+  /// The shard fleet when running as a coordinator, else nullptr (counter
+  /// introspection; runtime registration goes through the `register` verb).
+  [[nodiscard]] ShardFleet* shard_fleet() noexcept { return shard_fleet_.get(); }
+
+  [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
+
   // ------------------------------------------------ introspection (tests) ----
   [[nodiscard]] std::optional<JobStatus> job_status(const std::string& job);
   /// Block until the job is terminal (done/cancelled/failed); returns its
@@ -131,23 +230,44 @@ class Server {
   [[nodiscard]] std::size_t tenant_evictions(const std::string& tenant);
 
  private:
-  struct Job;
-  struct Tenant;
-
   void load_existing_jobs();
   void worker_loop();
   /// nullptr when no unit is currently dispatchable.
   std::shared_ptr<Job> claim_unit(std::size_t& unit_out);
+  /// Caller holds mu_. Perform the DRAINING eviction if the tenant is
+  /// draining and idle; returns true when dispatch of this tenant's units
+  /// may proceed (i.e. the tenant is no longer draining).
+  bool evict_if_drained(Tenant& tenant);
+  /// Claim under mu_ (caller holds it); shared body of the dispatch calls.
+  std::optional<Lease> claim_locked(bool allow_steal);
+  /// Steal candidate under mu_: an in-flight unit with exactly one live
+  /// lease, round-robin fair across jobs. nullopt when nothing qualifies.
+  std::optional<Lease> steal_locked();
+  Lease make_lease(const std::shared_ptr<Job>& job, std::size_t unit, bool stolen);
   void finalize_if_drained(Job& job);
 
   // Request handlers (see protocol.hpp). Each returns the response line;
-  // handle_results streams directly on the channel.
+  // handle_results and handle_lease stream directly on the channel.
   std::string handle_submit(const util::json::Value& req);
   std::string handle_status(const util::json::Value& req);
   std::string handle_cancel(const util::json::Value& req);
   std::string handle_counters();
   std::string handle_metrics(const util::json::Value& req);
+  std::string handle_register(const util::json::Value& req);
   void handle_results(const util::json::Value& req, util::LineChannel& ch);
+
+  /// Per-connection lease state: resolved specs keyed by the peer's job
+  /// ref, so one spec transfer covers every later lease of the job on this
+  /// connection.
+  struct LeaseContext;
+  using LeaseCache = std::map<std::string, std::shared_ptr<LeaseContext>>;
+  void handle_lease(const util::json::Value& req, util::LineChannel& ch,
+                    LeaseCache& cache);
+
+  /// Empty when `spec` passes the session-level gates (eps,
+  /// shared_chain_stats, record_trace); otherwise the error message.
+  /// Shared by the submit and lease paths.
+  [[nodiscard]] std::string spec_gate_error(const api::ExperimentSpec& spec) const;
 
   std::string register_job(const std::string& job_id, const std::string& tenant_name,
                            api::ExperimentSpec spec, std::unique_ptr<JobCheckpoint> ckpt,
@@ -189,12 +309,19 @@ class Server {
   obs::Gauge busy_workers_gauge_;
 
   std::vector<std::thread> workers_;
+  /// Present exactly when options_.coordinator (constructed after the jobs
+  /// load, torn down first in hard_stop()).
+  std::unique_ptr<ShardFleet> shard_fleet_;
   /// Connection handlers run detached; hard_stop() shuts their sockets down
   /// and waits for active_conns_ to drain (each handler's last touch of the
-  /// server is the counter decrement + notify, under conn_mu_).
+  /// server is the counter decrement + notify, under conn_mu_). The drain
+  /// also waits for every serve() accept loop to exit: an acceptor may hold
+  /// a connection it has not yet registered, so active_conns_ == 0 alone is
+  /// not a safe teardown barrier while an acceptor is live.
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;
   std::size_t active_conns_ = 0;
+  std::size_t active_acceptors_ = 0;  ///< serve() loops currently running
   std::set<int> conn_fds_;  ///< shut down to unblock handlers at stop
 };
 

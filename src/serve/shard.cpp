@@ -1,0 +1,465 @@
+#include "serve/shard.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace tcgrid::serve {
+
+namespace json = util::json;
+
+namespace {
+
+/// Wait for one response line with a deadline. Coarse by design: the peer
+/// writes whole lines per request on these connections, so poll-then-read
+/// only blocks past the deadline if a line is torn mid-write — and then the
+/// monitor's next probe catches it.
+bool read_line_deadline(util::LineChannel& ch, int fd, std::string& line, long timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (rc <= 0) return false;
+  return ch.read_line(line);
+}
+
+}  // namespace
+
+/// Per-shard state. Address, health and threads are owned here; the fd set
+/// lets the monitor shut down slot connections from outside their threads
+/// (the only way to unstick a slot blocked on a HUNG shard's socket).
+struct ShardFleet::Shard {
+  std::string address;
+  std::atomic<bool> live{false};
+  std::atomic<bool> incompatible_logged{false};
+  bool slots_spawned = false;          ///< under fleet mu_
+  std::vector<std::thread> threads;    ///< monitor + slots; under fleet mu_
+  std::set<int> fds;                   ///< live connections; under fleet mu_
+  obs::Histogram service_us;           ///< lease dispatch -> unit rows merged
+};
+
+ShardFleet::ShardFleet(Server& server, const ShardOptions& options)
+    : server_(server),
+      initial_shards_(options.shards),
+      slots_per_shard_(options.slots_per_shard),
+      lease_batch_(std::max<std::size_t>(1, options.lease_batch)),
+      steal_(options.steal),
+      heartbeat_interval_ms_(std::max(50L, options.heartbeat_interval_ms)),
+      heartbeat_timeout_ms_(std::max(100L, options.heartbeat_timeout_ms)) {
+  obs::Registry& reg = obs::Registry::instance();
+  live_shards_gauge_ = reg.gauge("tcgrid_coord_live_shards");
+  leased_total_ = reg.counter("tcgrid_coord_leased_units_total");
+  stolen_total_ = reg.counter("tcgrid_coord_stolen_units_total");
+  redispatched_total_ = reg.counter("tcgrid_coord_redispatched_units_total");
+  duplicate_total_ = reg.counter("tcgrid_coord_duplicate_commits_total");
+}
+
+ShardFleet::~ShardFleet() { stop(); }
+
+void ShardFleet::start() {
+  for (const std::string& address : initial_shards_) add_shard(address);
+}
+
+void ShardFleet::add_shard(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_.load() || address.empty()) return;
+  for (const auto& shard : shards_) {
+    if (shard->address == address) return;  // idempotent re-registration
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->address = address;
+  shard->service_us = obs::Registry::instance().histogram("tcgrid_coord_shard_service_us",
+                                                          {{"shard", address}});
+  Shard& ref = *shards_.emplace_back(std::move(shard));
+  ref.threads.emplace_back([this, &ref] { monitor_loop(ref); });
+}
+
+void ShardFleet::stop() {
+  stopping_.store(true);
+  stop_cv_.notify_all();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shard : shards_) {
+      for (int fd : shard->fds) ::shutdown(fd, SHUT_RDWR);
+      for (std::thread& t : shard->threads) threads.push_back(std::move(t));
+      shard->threads.clear();
+    }
+  }
+  // Joined outside mu_: exiting threads take it for fd/live bookkeeping.
+  // Server::hard_stop() has already set ITS stopping flag and notified
+  // work_cv_ before calling here, so slots parked in claim_for_dispatch
+  // are on their way out.
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ShardFleet::Counters ShardFleet::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters c;
+  c.shards = shards_.size();
+  for (const auto& shard : shards_) {
+    if (shard->live.load()) c.live_shards += 1;
+  }
+  c.leased_units = leased_;
+  c.stolen_units = stolen_;
+  c.redispatched_units = redispatched_;
+  c.duplicate_commits = duplicates_;
+  return c;
+}
+
+bool ShardFleet::sleep_ms(long ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                    [&] { return stopping_.load(); });
+  return !stopping_.load();
+}
+
+void ShardFleet::track_fd(Shard& shard, int fd, bool add) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (add) {
+    shard.fds.insert(fd);
+    // Closes the register/stop race: stop()'s shutdown pass may have run
+    // between our connect and this insert; stopping_ is set before that
+    // pass, so re-checking here guarantees the shutdown reaches every fd.
+    if (stopping_.load()) ::shutdown(fd, SHUT_RDWR);
+  } else {
+    shard.fds.erase(fd);
+  }
+}
+
+void ShardFleet::set_live(Shard& shard, bool live) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard.live.exchange(live) == live) return;
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    if (s->live.load()) n += 1;
+  }
+  live_shards_gauge_.set(static_cast<long long>(n));
+}
+
+void ShardFleet::spawn_slots(Shard& shard, std::size_t advertised_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_.load() || shard.slots_spawned) return;
+  std::size_t n = slots_per_shard_ != 0 ? slots_per_shard_ : advertised_threads;
+  n = std::clamp<std::size_t>(n, 1, 64);
+  shard.slots_spawned = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    shard.threads.emplace_back([this, &shard] { slot_loop(shard); });
+  }
+}
+
+void ShardFleet::monitor_loop(Shard& shard) {
+  while (!stopping_.load()) {
+    util::Fd fd;
+    try {
+      fd = util::connect_address(shard.address);
+    } catch (const std::exception&) {
+      set_live(shard, false);
+      if (!sleep_ms(heartbeat_interval_ms_)) return;
+      continue;
+    }
+    track_fd(shard, fd.get(), true);
+    util::LineChannel ch(fd.get());
+    std::string line;
+    bool registered = false;
+    do {
+      if (!ch.write_line(register_request())) break;
+      if (!read_line_deadline(ch, fd.get(), line, heartbeat_timeout_ms_)) break;
+      json::Value reply;
+      try {
+        reply = json::parse(line);
+      } catch (const std::invalid_argument&) {
+        break;
+      }
+      const json::Value* ok = reply.is_object() ? reply.find("ok") : nullptr;
+      if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) break;
+      // eps gate: a shard estimating with a different eps would stream rows
+      // that diverge bit-wise from the coordinator's contract. The shard
+      // also re-validates per lease spec; this just refuses to spawn slots
+      // at all. json doubles round-trip exactly ('%.17g'), so == is sound.
+      if (const json::Value* eps = reply.find("eps");
+          eps != nullptr && eps->is_number() &&
+          eps->as_double() != server_.options().eps) {
+        if (!shard.incompatible_logged.exchange(true)) {
+          std::fprintf(stderr,
+                       "tcgrid_serve: shard %s rejected: eps %.17g != coordinator "
+                       "eps %.17g\n",
+                       shard.address.c_str(), eps->as_double(), server_.options().eps);
+        }
+        break;
+      }
+      std::size_t threads = 0;
+      if (const json::Value* t = reply.find("threads"); t != nullptr && t->is_integer()) {
+        threads = static_cast<std::size_t>(t->as_uint());
+      }
+      spawn_slots(shard, threads);
+      registered = true;
+    } while (false);
+
+    if (registered) {
+      set_live(shard, true);
+      // Probe until the shard misses a deadline (or we stop). kill -9
+      // surfaces here AND as instant EOF on the slot connections; the
+      // monitor matters for the hung-not-dead case.
+      while (!stopping_.load()) {
+        if (!sleep_ms(heartbeat_interval_ms_)) break;
+        if (!ch.write_line(heartbeat_request()) ||
+            !read_line_deadline(ch, fd.get(), line, heartbeat_timeout_ms_)) {
+          break;
+        }
+      }
+      // Dead, hung or stopping: force every lease this shard holds to
+      // expire by killing its connections; the slots re-queue their units
+      // through Server::return_lease when the I/O fails.
+      set_live(shard, false);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (int f : shard.fds) {
+          if (f != fd.get()) ::shutdown(f, SHUT_RDWR);
+        }
+      }
+    } else {
+      set_live(shard, false);
+    }
+    track_fd(shard, fd.get(), false);
+    fd.reset();
+    if (!registered && !sleep_ms(heartbeat_interval_ms_)) return;
+  }
+  set_live(shard, false);
+}
+
+void ShardFleet::slot_loop(Shard& shard) {
+  while (!stopping_.load()) {
+    if (!shard.live.load()) {
+      if (!sleep_ms(50)) return;
+      continue;
+    }
+    util::Fd fd;
+    try {
+      fd = util::connect_address(shard.address);
+    } catch (const std::exception&) {
+      if (!sleep_ms(heartbeat_interval_ms_)) return;
+      continue;
+    }
+    track_fd(shard, fd.get(), true);
+    {
+      util::LineChannel ch(fd.get());
+      std::vector<std::string> sent_specs;
+      while (!stopping_.load() && shard.live.load()) {
+        if (!lease_round(shard, ch, sent_specs)) break;
+      }
+    }
+    track_fd(shard, fd.get(), false);
+  }
+}
+
+bool ShardFleet::lease_round(Shard& shard, util::LineChannel& ch,
+                             std::vector<std::string>& sent_specs) {
+  // Pull: claim the next unit(s) the moment this slot idles. Blocking on
+  // the first claim IS the work-stealing scheduler — a fast shard returns
+  // here more often and naturally takes more of the queue.
+  std::optional<Server::Lease> first = server_.claim_for_dispatch(steal_);
+  if (!first.has_value()) return false;  // server stopping
+  std::vector<Server::Lease> batch;
+  batch.push_back(std::move(*first));
+  // Scenario-affine extension: pull the remaining trials of each claimed
+  // scenario onto THIS shard (even past lease_batch, bounded below) before
+  // claiming fresh units. Siblings share the shard's per-scenario estimator
+  // cache — the dominant unit cost — so splitting a scenario across shards
+  // would re-pay that build per shard and erase the scaling win.
+  constexpr std::size_t kBatchCap = 64;  // bound on sibling overshoot
+  while (batch.size() < kBatchCap) {
+    std::optional<Server::Lease> more = server_.try_claim_sibling(batch.back());
+    if (!more.has_value() && batch.size() < lease_batch_) {
+      more = server_.try_claim_for_dispatch();
+    }
+    if (!more.has_value()) break;
+    batch.push_back(std::move(*more));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leased_ += batch.size();
+    for (const Server::Lease& lease : batch) {
+      if (lease.stolen) stolen_ += 1;
+    }
+  }
+  leased_total_.inc(batch.size());
+  for (const Server::Lease& lease : batch) {
+    if (lease.stolen) stolen_total_.inc();
+  }
+
+  std::vector<bool> resolved(batch.size(), false);
+  // On transport death every unresolved lease expires and re-queues.
+  auto expire_unresolved = [&] {
+    std::size_t expired = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (resolved[i]) continue;
+      server_.return_lease(batch[i]);
+      expired += 1;
+    }
+    if (expired > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      redispatched_ += expired;
+    }
+    redispatched_total_.inc(expired);
+  };
+
+  // A batch can span jobs (round-robin claims); one lease request per job.
+  std::map<std::string, std::vector<std::size_t>> groups;  // job_id -> batch indices
+  for (std::size_t i = 0; i < batch.size(); ++i) groups[batch[i].job_id].push_back(i);
+
+  const std::uint64_t claimed_us = obs::enabled() ? obs::steady_now_us() : 0;
+  std::string line;
+  for (const auto& [job_id, indices] : groups) {
+    const Server::Lease& head = batch[indices.front()];
+    std::vector<std::size_t> units;
+    units.reserve(indices.size());
+    for (std::size_t i : indices) units.push_back(batch[i].unit);
+
+    bool with_spec =
+        std::find(sent_specs.begin(), sent_specs.end(), job_id) == sent_specs.end();
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const std::string spec =
+          with_spec && head.spec_json != nullptr ? *head.spec_json : std::string();
+      if (!ch.write_line(lease_request(job_id, head.tenant, units, spec))) {
+        expire_unresolved();
+        return false;
+      }
+      if (with_spec) sent_specs.push_back(job_id);
+
+      bool resend_with_spec = false;
+      bool group_done = false;
+      while (!group_done) {
+        if (!ch.read_line(line)) {
+          expire_unresolved();
+          return false;
+        }
+        json::Value msg;
+        try {
+          msg = json::parse(line);
+          if (!msg.is_object()) throw std::invalid_argument("not an object");
+        } catch (const std::invalid_argument&) {
+          expire_unresolved();
+          return false;  // framing broken; reconnect
+        }
+        const json::Value* type = msg.find("type");
+        const std::string kind =
+            type != nullptr && type->is_string() ? type->as_string() : "";
+        if (kind == "unit") {
+          const json::Value* unit_v = msg.find("unit");
+          const json::Value* rows_v = msg.find("rows");
+          if (unit_v == nullptr || !unit_v->is_integer() || rows_v == nullptr ||
+              !rows_v->is_integer()) {
+            expire_unresolved();
+            return false;
+          }
+          const std::size_t unit = static_cast<std::size_t>(unit_v->as_uint());
+          std::vector<std::string> rows;
+          rows.reserve(static_cast<std::size_t>(rows_v->as_uint()));
+          for (std::size_t r = 0; r < rows_v->as_uint(); ++r) {
+            std::string row;
+            if (!ch.read_line(row)) {
+              expire_unresolved();
+              return false;
+            }
+            rows.push_back(std::move(row));
+          }
+          std::size_t idx = batch.size();
+          for (std::size_t i : indices) {
+            if (!resolved[i] && batch[i].unit == unit) {
+              idx = i;
+              break;
+            }
+          }
+          if (idx == batch.size()) continue;  // unit we no longer hold; drop
+          const Server::RemoteCommit rc =
+              server_.commit_remote_unit(batch[idx], std::move(rows), claimed_us);
+          resolved[idx] = true;
+          if (rc == Server::RemoteCommit::Duplicate) {
+            std::lock_guard<std::mutex> lock(mu_);
+            duplicates_ += 1;
+          }
+          if (rc == Server::RemoteCommit::Duplicate) duplicate_total_.inc();
+          if (rc == Server::RemoteCommit::Stopped) {
+            expire_unresolved();
+            return false;
+          }
+          if (claimed_us != 0) {
+            shard.service_us.observe(obs::steady_now_us() - claimed_us);
+          }
+        } else if (kind == "lease_done") {
+          group_done = true;
+        } else if (kind == "unit_failed") {
+          const json::Value* unit_v = msg.find("unit");
+          const json::Value* err_v = msg.find("error");
+          const std::size_t unit =
+              unit_v != nullptr && unit_v->is_integer()
+                  ? static_cast<std::size_t>(unit_v->as_uint())
+                  : batch[indices.front()].unit;
+          const std::string error = err_v != nullptr && err_v->is_string()
+                                        ? err_v->as_string()
+                                        : "unit failed on shard " + shard.address;
+          for (std::size_t i : indices) {
+            if (!resolved[i] && batch[i].unit == unit) {
+              server_.fail_lease(batch[i], error);
+              resolved[i] = true;
+              break;
+            }
+          }
+          // The shard aborts the lease after a failed unit; the rest of the
+          // group re-queues (the job is failed, so they just sit pending).
+          for (std::size_t i : indices) {
+            if (!resolved[i]) {
+              server_.return_lease(batch[i]);
+              resolved[i] = true;
+            }
+          }
+          group_done = true;
+        } else {
+          // Generic {"ok":false,...} error.
+          const json::Value* need_spec = msg.find("need_spec");
+          if (need_spec != nullptr && need_spec->is_bool() && need_spec->as_bool() &&
+              !with_spec) {
+            // New shard connection since we last sent the spec (or a shard
+            // restart): resend this group's lease with the spec attached.
+            with_spec = true;
+            resend_with_spec = true;
+            group_done = true;
+          } else {
+            const json::Value* err_v = msg.find("error");
+            const std::string error = err_v != nullptr && err_v->is_string()
+                                          ? err_v->as_string()
+                                          : "lease rejected by shard " + shard.address;
+            // A rejected lease is a contract violation (bad spec for this
+            // shard, e.g. eps mismatch): re-running elsewhere would loop,
+            // so fail the job loudly.
+            server_.fail_lease(batch[indices.front()], error);
+            for (std::size_t i : indices) {
+              if (!resolved[i]) {
+                server_.return_lease(batch[i]);
+                resolved[i] = true;
+              }
+            }
+            group_done = true;
+          }
+        }
+      }
+      if (!resend_with_spec) break;
+    }
+  }
+  // Anything still unresolved (shouldn't happen on clean lease_done paths)
+  // goes back to the queue rather than leaking an in-flight unit.
+  expire_unresolved();
+  return true;
+}
+
+}  // namespace tcgrid::serve

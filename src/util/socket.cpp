@@ -1,5 +1,8 @@
 #include "util/socket.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -59,6 +62,86 @@ Fd connect_unix(const std::string& path) {
     sys_fail("connect " + path);
   }
   return fd;
+}
+
+namespace {
+
+/// getaddrinfo wrapper shared by the TCP listen/connect paths; the caller
+/// owns the returned chain (freeaddrinfo).
+addrinfo* resolve_tcp(const std::string& host, unsigned short port, bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("getaddrinfo " + host + ":" + std::to_string(port) +
+                             ": " + ::gai_strerror(rc));
+  }
+  return res;
+}
+
+}  // namespace
+
+Fd listen_tcp(const std::string& host, unsigned short port) {
+  addrinfo* res = resolve_tcp(host, port, /*passive=*/true);
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) { last_error = std::strerror(errno); continue; }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd.get(), 64) != 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    ::freeaddrinfo(res);
+    return fd;
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("listen tcp " + host + ":" + std::to_string(port) + ": " +
+                           last_error);
+}
+
+Fd connect_tcp(const std::string& host, unsigned short port) {
+  addrinfo* res = resolve_tcp(host, port, /*passive=*/false);
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) { last_error = std::strerror(errno); continue; }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ::freeaddrinfo(res);
+    return fd;
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("connect tcp " + host + ":" + std::to_string(port) + ": " +
+                           last_error);
+}
+
+Fd connect_address(const std::string& address) {
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw std::invalid_argument("tcp address must be tcp:HOST:PORT, got '" + address +
+                                  "'");
+    }
+    const unsigned long port = std::stoul(rest.substr(colon + 1));
+    if (port == 0 || port > 65535) {
+      throw std::invalid_argument("tcp port out of range in '" + address + "'");
+    }
+    return connect_tcp(rest.substr(0, colon), static_cast<unsigned short>(port));
+  }
+  if (address.rfind("unix:", 0) == 0) return connect_unix(address.substr(5));
+  return connect_unix(address);
 }
 
 Fd accept_connection(int listen_fd) {

@@ -55,6 +55,24 @@ class Fd {
 /// Connect to a listening unix-domain socket. Throws std::runtime_error.
 [[nodiscard]] Fd connect_unix(const std::string& path);
 
+/// Bind + listen on a TCP stream socket at host:port (SO_REUSEADDR set;
+/// host resolved with getaddrinfo, so "127.0.0.1", "::1" and names all
+/// work). Throws std::runtime_error. The serve daemon uses this to make
+/// shards reachable across hosts; the NDJSON protocol is transport-agnostic.
+[[nodiscard]] Fd listen_tcp(const std::string& host, unsigned short port);
+
+/// Connect to a listening TCP socket (TCP_NODELAY set — the serve protocol
+/// is request/response over small lines). Throws std::runtime_error.
+[[nodiscard]] Fd connect_tcp(const std::string& host, unsigned short port);
+
+/// Connect to a serve-style address string:
+///   "tcp:HOST:PORT"  -> connect_tcp (last ':' splits the port, so IPv6
+///                       literals work unbracketed)
+///   "unix:PATH"      -> connect_unix
+///   anything else    -> connect_unix (a bare filesystem path)
+/// Throws std::runtime_error (std::invalid_argument for malformed tcp:).
+[[nodiscard]] Fd connect_address(const std::string& address);
+
 /// Accept one connection (blocking); invalid Fd on failure/shutdown.
 [[nodiscard]] Fd accept_connection(int listen_fd);
 

@@ -1,0 +1,510 @@
+// Tests of coordinator-mode serving (serve/shard.hpp, DESIGN.md §15): the
+// shard verbs on a stock daemon (register / heartbeat / lease streaming,
+// and the no-checkpoint contract for leased units), the coordinator's
+// merge — byte-identical to a single-process run, with the merged commit
+// order equal to rows.jsonl order so `results --from=N` offsets stay
+// stable — exactly-once commit under duplicate (stolen) lease completion,
+// lease expiry + re-dispatch when a shard dies mid-job, and coordinator
+// restart resuming a sharded job on the same checkpoint root.
+//
+// Shards here are real in-process Servers behind real unix listen sockets
+// — the coordinator's fleet connects through the same connect_address path
+// the daemon uses, so the full transport (framing, spec resend, row
+// streaming, fd shutdown on death) is exercised, not a mock.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "api/spec_json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/shard.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace api = tcgrid::api;
+namespace serve = tcgrid::serve;
+namespace util = tcgrid::util;
+namespace json = tcgrid::util::json;
+
+namespace {
+
+std::string fresh_root(const std::string& tag) {
+  const std::string root = ::testing::TempDir() + "tcgrid_shard_" + tag + "_" +
+                           std::to_string(::getpid());
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+/// Same shape as serve_test's tiny sweep: (2 * wmin_count) scenarios x
+/// `trials` trials x 2 heuristics, 2 rows per unit.
+api::ExperimentSpec tiny_spec(int trials = 2, int wmin_count = 2) {
+  api::ExperimentSpec spec;
+  spec.grid.ms = {3};
+  spec.grid.ncoms = {5};
+  spec.grid.wmins.clear();
+  for (long w = 1; w <= wmin_count; ++w) spec.grid.wmins.push_back(w);
+  spec.grid.scenarios_per_cell = 2;
+  spec.grid.p = 8;
+  spec.grid.iterations = 5;
+  spec.heuristics = {"RANDOM", "IE"};
+  spec.trials = trials;
+  spec.options.slot_cap = 50'000;
+  return spec;
+}
+
+/// An in-process daemon behind a real unix listen socket — what a shard (or
+/// a coordinator reached over its socket) is in production. kill() has hard
+/// kill -9 semantics for everything in flight: connections die, nothing
+/// uncommitted survives, and the socket starts refusing connects.
+struct Daemon {
+  Daemon(const serve::ServerOptions& opts, std::string socket_path)
+      : socket(std::move(socket_path)),
+        server(std::make_unique<serve::Server>(opts)),
+        listen_fd(util::listen_unix(socket)) {
+    acceptor = std::thread([this] { server->serve(listen_fd.get()); });
+  }
+  ~Daemon() { kill(); }
+
+  void kill() {
+    if (server == nullptr) return;
+    server->hard_stop();
+    acceptor.join();
+    listen_fd.reset();  // connects now fail: the death is visible, not hung
+    server.reset();
+  }
+
+  std::string socket;
+  std::unique_ptr<serve::Server> server;
+  util::Fd listen_fd;
+  std::thread acceptor;
+};
+
+/// One client connection over the daemon's real socket.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path)
+      : fd_(util::connect_address(socket_path)), ch_(fd_.get()) {}
+
+  json::Value roundtrip(const std::string& request) {
+    EXPECT_TRUE(ch_.write_line(request));
+    std::string line;
+    EXPECT_TRUE(ch_.read_line(line));
+    return json::parse(line);
+  }
+
+  std::pair<std::vector<std::string>, json::Value> stream_results(
+      const std::string& job, std::size_t from = 0, bool wait = true) {
+    EXPECT_TRUE(ch_.write_line(serve::results_request(job, from, wait)));
+    std::vector<std::string> rows;
+    std::string line;
+    while (ch_.read_line(line)) {
+      const json::Value v = json::parse(line);
+      if (const json::Value* type = v.find("type");
+          type != nullptr && type->is_string() && type->as_string() == "end") {
+        return {std::move(rows), v};
+      }
+      rows.push_back(line);
+    }
+    ADD_FAILURE() << "stream ended without an end record";
+    return {std::move(rows), json::Value()};
+  }
+
+  json::Value submit(const api::ExperimentSpec& spec, const std::string& tenant,
+                     const std::string& job = "") {
+    return roundtrip(serve::submit_request(tenant, api::spec_to_json(spec), job));
+  }
+
+  /// Drive the lease verb by hand: returns unit -> raw row lines. Fails the
+  /// test on anything but clean unit streams + lease_done.
+  std::map<std::size_t, std::vector<std::string>> lease(
+      const std::string& ref, const std::string& tenant,
+      const std::vector<std::size_t>& units, const std::string& spec_json) {
+    EXPECT_TRUE(ch_.write_line(serve::lease_request(ref, tenant, units, spec_json)));
+    std::map<std::size_t, std::vector<std::string>> out;
+    std::string line;
+    while (ch_.read_line(line)) {
+      const json::Value v = json::parse(line);
+      const json::Value* type = v.find("type");
+      const std::string kind =
+          type != nullptr && type->is_string() ? type->as_string() : "";
+      if (kind == "lease_done") return out;
+      if (kind != "unit") {
+        ADD_FAILURE() << "unexpected lease response: " << line;
+        return out;
+      }
+      const std::size_t unit = static_cast<std::size_t>(v.find("unit")->as_uint());
+      const std::size_t n = static_cast<std::size_t>(v.find("rows")->as_uint());
+      std::vector<std::string> rows;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string row;
+        EXPECT_TRUE(ch_.read_line(row));
+        rows.push_back(std::move(row));
+      }
+      out.emplace(unit, std::move(rows));
+    }
+    ADD_FAILURE() << "lease stream ended without lease_done";
+    return out;
+  }
+
+ private:
+  util::Fd fd_;
+  util::LineChannel ch_;
+};
+
+bool is_ok(const json::Value& v) {
+  const json::Value* ok = v.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+std::string error_of(const json::Value& v) {
+  const json::Value* e = v.find("error");
+  return e != nullptr && e->is_string() ? e->as_string() : "";
+}
+
+std::vector<std::string> sorted(std::vector<std::string> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::string> file_rows(const std::string& path) {
+  std::vector<std::string> rows;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) rows.push_back(line);
+  }
+  return rows;
+}
+
+/// Single-process reference run of `spec`: the byte-set every sharded
+/// arrangement must reproduce.
+std::vector<std::string> reference_rows(const api::ExperimentSpec& spec,
+                                        const std::string& tag) {
+  serve::ServerOptions opts;
+  opts.root = fresh_root(tag);
+  opts.threads = 2;
+  Daemon daemon(opts, fresh_root(tag + "_sock") + ".sock");
+  Client client(daemon.socket);
+  const json::Value ack = client.submit(spec, "alice", "ref");
+  EXPECT_TRUE(is_ok(ack)) << error_of(ack);
+  return sorted(client.stream_results("ref").first);
+}
+
+serve::ServerOptions shard_opts(const std::string& tag) {
+  serve::ServerOptions opts;
+  opts.root = fresh_root(tag);
+  opts.threads = 2;
+  return opts;
+}
+
+serve::ServerOptions coordinator_opts(const std::string& tag,
+                                      std::vector<std::string> shards) {
+  serve::ServerOptions opts;
+  opts.root = fresh_root(tag);
+  opts.coordinator = true;
+  opts.shard.shards = std::move(shards);
+  opts.shard.heartbeat_interval_ms = 100;
+  opts.shard.heartbeat_timeout_ms = 500;
+  return opts;
+}
+
+TEST(Shard, StockServerSpeaksTheShardVerbs) {
+  serve::ServerOptions opts = shard_opts("verbs");
+  Daemon shard(opts, fresh_root("verbs_sock") + ".sock");
+  Client client(shard.socket);
+
+  // register: the slot-sizing handshake (no "shard" field = not a
+  // fleet-join; that form needs a coordinator and is rejected here).
+  json::Value resp = client.roundtrip(serve::register_request());
+  ASSERT_TRUE(is_ok(resp)) << error_of(resp);
+  EXPECT_EQ(resp.find("type")->as_string(), "registered");
+  EXPECT_EQ(resp.find("threads")->as_uint(), 2u);
+  EXPECT_FALSE(resp.find("coordinator")->as_bool());
+
+  resp = client.roundtrip(serve::register_request("unix:/nowhere.sock"));
+  EXPECT_FALSE(is_ok(resp));
+  EXPECT_NE(error_of(resp).find("coordinator"), std::string::npos) << error_of(resp);
+
+  resp = client.roundtrip(serve::heartbeat_request());
+  ASSERT_TRUE(is_ok(resp)) << error_of(resp);
+  EXPECT_EQ(resp.find("type")->as_string(), "pong");
+
+  // lease with an unknown reference and no spec: the error carries the
+  // need_spec hint the coordinator's resend path keys on.
+  const api::ExperimentSpec spec = tiny_spec();
+  resp = client.roundtrip(serve::lease_request("leasejob", "alice", {0}));
+  EXPECT_FALSE(is_ok(resp));
+  EXPECT_TRUE(resp.find("need_spec") != nullptr &&
+              resp.find("need_spec")->as_bool())
+      << json::dump(resp);
+
+  // With the spec attached, every leased unit streams its rows — and the
+  // full lease reproduces exactly the rows a local submit of the same spec
+  // computes, because both are the same pure function of (spec, unit).
+  const std::string spec_json = json::dump(api::spec_to_json(spec));
+  const std::size_t units = spec.unit_count();
+  ASSERT_EQ(units, 8u);
+  std::vector<std::size_t> all_units(units);
+  for (std::size_t u = 0; u < units; ++u) all_units[u] = u;
+  const auto leased = client.lease("leasejob", "alice", all_units, spec_json);
+  ASSERT_EQ(leased.size(), units);
+  std::vector<std::string> lease_rows;
+  for (const auto& [unit, rows] : leased) {
+    EXPECT_EQ(rows.size(), 2u) << "unit " << unit;  // 2 heuristics
+    lease_rows.insert(lease_rows.end(), rows.begin(), rows.end());
+  }
+  // Spec is cached per connection: a follow-up lease without it works.
+  const auto again = client.lease("leasejob", "alice", {0}, "");
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again.at(0), leased.at(0));
+
+  const json::Value ack = client.submit(spec, "alice", "local");
+  ASSERT_TRUE(is_ok(ack)) << error_of(ack);
+  const auto [local_rows, end] = client.stream_results("local");
+  EXPECT_EQ(end.find("state")->as_string(), "done");
+  EXPECT_EQ(sorted(lease_rows), sorted(local_rows));
+
+  // Leased units are the coordinator's to checkpoint, never the shard's:
+  // no job directory appeared under the shard's root for the lease ref.
+  EXPECT_FALSE(std::filesystem::exists(opts.root + "/leasejob"));
+
+  // Out-of-range unit ids are named at the wire.
+  resp = client.roundtrip(serve::lease_request("leasejob", "alice", {units}));
+  EXPECT_FALSE(is_ok(resp));
+  EXPECT_NE(error_of(resp).find("out of range"), std::string::npos) << error_of(resp);
+}
+
+TEST(Shard, CoordinatorMergesByteIdenticalToSingleProcess) {
+  const api::ExperimentSpec spec = tiny_spec(/*trials=*/4, /*wmin_count=*/3);
+  const std::vector<std::string> reference = reference_rows(spec, "merge_ref");
+  ASSERT_EQ(reference.size(), 48u);
+
+  Daemon shard1(shard_opts("merge_s1"), fresh_root("merge_s1_sock") + ".sock");
+  Daemon shard2(shard_opts("merge_s2"), fresh_root("merge_s2_sock") + ".sock");
+  serve::ServerOptions copts =
+      coordinator_opts("merge_coord", {shard1.socket, shard2.socket});
+  Daemon coord(copts, fresh_root("merge_coord_sock") + ".sock");
+  Client client(coord.socket);
+
+  const json::Value ack = client.submit(spec, "alice", "sweep");
+  ASSERT_TRUE(is_ok(ack)) << error_of(ack);
+  const auto [rows, end] = client.stream_results("sweep");
+  EXPECT_EQ(end.find("state")->as_string(), "done");
+  EXPECT_EQ(sorted(rows), reference);
+
+  // The merge layer preserves the §11 offset invariant: the streamed
+  // (in-memory) order IS the rows.jsonl commit order, so `results --from=N`
+  // indexes one well-defined sequence.
+  EXPECT_EQ(rows, file_rows(copts.root + "/sweep/rows.jsonl"));
+
+  // Both shards actually served (work stealing pulls from both), and the
+  // counters verb exposes the coordinator block.
+  const serve::ShardFleet::Counters c = coord.server->shard_fleet()->counters();
+  EXPECT_EQ(c.shards, 2u);
+  EXPECT_GE(c.leased_units, 24u);
+  const json::Value counters = client.roundtrip(serve::counters_request());
+  ASSERT_TRUE(is_ok(counters));
+  const json::Value* coord_block = counters.find("coordinator");
+  ASSERT_NE(coord_block, nullptr);
+  EXPECT_EQ(coord_block->find("shards")->as_uint(), 2u);
+  EXPECT_GE(coord_block->find("leased_units")->as_uint(), 24u);
+}
+
+TEST(Shard, DuplicateLeaseCompletionCommitsExactlyOnce) {
+  // Drive the dispatch surface directly: claim every unit, steal one (a
+  // second lease on an in-flight unit), complete BOTH leases with the same
+  // rows. Exactly one commit lands; the loser reports Duplicate and the
+  // checkpoint holds each row once.
+  const api::ExperimentSpec spec = tiny_spec();  // 8 units
+  const std::size_t units = spec.unit_count();
+
+  // A stock daemon computes the rows for us via the lease verb — the same
+  // bytes any shard would stream.
+  Daemon shard(shard_opts("dup_rows"), fresh_root("dup_rows_sock") + ".sock");
+  Client shard_client(shard.socket);
+  std::vector<std::size_t> all_units(units);
+  for (std::size_t u = 0; u < units; ++u) all_units[u] = u;
+  const auto rows_of = shard_client.lease("ref", "alice", all_units,
+                                          json::dump(api::spec_to_json(spec)));
+  ASSERT_EQ(rows_of.size(), units);
+
+  serve::ServerOptions copts = coordinator_opts("dup_coord", {});
+  Daemon coord(copts, fresh_root("dup_coord_sock") + ".sock");
+  Client client(coord.socket);
+  const json::Value ack = client.submit(spec, "alice", "sweep");
+  ASSERT_TRUE(is_ok(ack)) << error_of(ack);
+
+  // No shards are attached, so these claims are the only dispatch path.
+  std::vector<serve::Server::Lease> leases;
+  for (std::size_t i = 0; i < units; ++i) {
+    auto lease = coord.server->claim_for_dispatch(/*allow_steal=*/false);
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_FALSE(lease->stolen);
+    leases.push_back(std::move(*lease));
+  }
+  EXPECT_FALSE(coord.server->try_claim_for_dispatch().has_value());
+
+  auto stolen = coord.server->claim_for_dispatch(/*allow_steal=*/true);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_TRUE(stolen->stolen);
+  const std::size_t victim = stolen->unit;
+
+  // The stolen (duplicate) lease wins the race; the original must dedup.
+  EXPECT_EQ(coord.server->commit_remote_unit(*stolen, rows_of.at(victim), 0),
+            serve::Server::RemoteCommit::Committed);
+  for (const auto& lease : leases) {
+    const auto rc =
+        coord.server->commit_remote_unit(lease, rows_of.at(lease.unit), 0);
+    EXPECT_EQ(rc, lease.unit == victim ? serve::Server::RemoteCommit::Duplicate
+                                       : serve::Server::RemoteCommit::Committed);
+  }
+
+  const auto status = coord.server->wait_job("sweep");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, "done");
+  const auto [rows, end] = client.stream_results("sweep");
+  EXPECT_EQ(end.find("state")->as_string(), "done");
+  EXPECT_EQ(rows.size(), units * 2);
+  // Every row exactly once — in memory and in the checkpoint.
+  std::set<std::string> unique(rows.begin(), rows.end());
+  EXPECT_EQ(unique.size(), rows.size());
+  EXPECT_EQ(rows, file_rows(copts.root + "/sweep/rows.jsonl"));
+
+  // A return after completion is a no-op, not a resurrection.
+  coord.server->return_lease(leases.front());
+  EXPECT_EQ(coord.server->job_status("sweep")->state, "done");
+}
+
+TEST(Shard, SiblingClaimsStayInsideTheScenario) {
+  // Scenario-affine batching: try_claim_sibling hands out the remaining
+  // trials of the held lease's scenario — and nothing else — so whole
+  // scenarios travel to one shard (their estimator is built once there).
+  const api::ExperimentSpec spec = tiny_spec(/*trials=*/4);  // 4 scenarios
+  Daemon coord(coordinator_opts("sibling", {}), fresh_root("sibling_sock") + ".sock");
+  Client client(coord.socket);
+  ASSERT_TRUE(is_ok(client.submit(spec, "alice", "sweep")));
+
+  auto first = coord.server->claim_for_dispatch(/*allow_steal=*/false);
+  ASSERT_TRUE(first.has_value());
+  const std::size_t scenario = api::unit_scenario(first->unit, spec.trials);
+
+  // Exactly trials-1 siblings, every one from the same scenario.
+  std::vector<serve::Server::Lease> held{std::move(*first)};
+  for (std::size_t i = 1; i < static_cast<std::size_t>(spec.trials); ++i) {
+    auto sib = coord.server->try_claim_sibling(held.back());
+    ASSERT_TRUE(sib.has_value()) << "sibling " << i;
+    EXPECT_EQ(api::unit_scenario(sib->unit, spec.trials), scenario);
+    EXPECT_FALSE(sib->stolen);
+    held.push_back(std::move(*sib));
+  }
+  // The scenario is exhausted: no fourth sibling, even though other
+  // scenarios still have pending units (a fresh claim finds one).
+  EXPECT_FALSE(coord.server->try_claim_sibling(held.back()).has_value());
+  auto next = coord.server->try_claim_for_dispatch();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NE(api::unit_scenario(next->unit, spec.trials), scenario);
+
+  // Returned leases re-dispatch; the job still runs to completion through
+  // the normal surface (no fleet attached, so claims are the only path).
+  coord.server->return_lease(*next);
+  for (const auto& lease : held) coord.server->return_lease(lease);
+  EXPECT_EQ(coord.server->job_status("sweep")->state, "running");
+}
+
+TEST(Shard, ShardDeathMidJobExpiresLeasesAndStaysByteIdentical) {
+  const api::ExperimentSpec spec = tiny_spec(/*trials=*/8, /*wmin_count=*/3);
+  const std::vector<std::string> reference = reference_rows(spec, "kill_ref");
+  ASSERT_EQ(reference.size(), 96u);
+
+  Daemon shard1(shard_opts("kill_s1"), fresh_root("kill_s1_sock") + ".sock");
+  Daemon shard2(shard_opts("kill_s2"), fresh_root("kill_s2_sock") + ".sock");
+  serve::ServerOptions copts =
+      coordinator_opts("kill_coord", {shard1.socket, shard2.socket});
+  Daemon coord(copts, fresh_root("kill_coord_sock") + ".sock");
+  Client client(coord.socket);
+
+  const json::Value ack = client.submit(spec, "alice", "sweep");
+  ASSERT_TRUE(is_ok(ack)) << error_of(ack);
+
+  // Kill one shard once the job is moving but nowhere near done. Its slot
+  // connections die mid-lease; the coordinator re-queues what it held and
+  // the surviving shard absorbs the rest.
+  coord.server->wait_units("sweep", 4);
+  shard1.kill();
+
+  const auto status = coord.server->wait_job("sweep");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, "done") << "job did not survive the shard death";
+
+  const auto [rows, end] = client.stream_results("sweep");
+  EXPECT_EQ(end.find("state")->as_string(), "done");
+  EXPECT_EQ(sorted(rows), reference);
+  EXPECT_EQ(rows, file_rows(copts.root + "/sweep/rows.jsonl"));
+
+  const serve::ShardFleet::Counters c = coord.server->shard_fleet()->counters();
+  EXPECT_GT(c.redispatched_units, 0u) << "the kill expired no leases";
+}
+
+TEST(Shard, CoordinatorRestartResumesMergedJobWithStableOffsets) {
+  const api::ExperimentSpec spec = tiny_spec(/*trials=*/6, /*wmin_count=*/3);
+  const std::vector<std::string> reference = reference_rows(spec, "resume_ref");
+  ASSERT_EQ(reference.size(), 72u);
+
+  // Shards are stateless and outlive the coordinator: the same pair serves
+  // both coordinator lifetimes.
+  Daemon shard1(shard_opts("resume_s1"), fresh_root("resume_s1_sock") + ".sock");
+  Daemon shard2(shard_opts("resume_s2"), fresh_root("resume_s2_sock") + ".sock");
+  serve::ServerOptions copts =
+      coordinator_opts("resume_coord", {shard1.socket, shard2.socket});
+
+  std::vector<std::string> before_kill;
+  {
+    Daemon coord(copts, fresh_root("resume_coord_sock1") + ".sock");
+    Client client(coord.socket);
+    const json::Value ack = client.submit(spec, "alice", "sweep");
+    ASSERT_TRUE(is_ok(ack)) << error_of(ack);
+    coord.server->wait_units("sweep", 2);
+    before_kill = client.stream_results("sweep", 0, /*wait=*/false).first;
+    coord.kill();  // hard stop: in-flight leases die uncommitted
+  }
+
+  Daemon coord(copts, fresh_root("resume_coord_sock2") + ".sock");
+  const auto at_restart = coord.server->job_status("sweep");
+  ASSERT_TRUE(at_restart.has_value());
+  EXPECT_GE(at_restart->units_done, 2u);
+  EXPECT_LT(at_restart->units_done, 36u)
+      << "job finished before the kill; nothing was resumed";
+  const auto status = coord.server->wait_job("sweep");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, "done");
+
+  Client client(coord.socket);
+  const auto [rows, end] = client.stream_results("sweep");
+  EXPECT_EQ(end.find("state")->as_string(), "done");
+  EXPECT_EQ(sorted(rows), reference);
+
+  // The offset contract across restarts: the restart rebuilt job->rows in
+  // rows.jsonl order, committed-prefix rows kept their indexes, and a
+  // --from=N re-read returns exactly the tail of the same sequence.
+  EXPECT_EQ(rows, file_rows(copts.root + "/sweep/rows.jsonl"));
+  ASSERT_GE(before_kill.size(), 1u);
+  EXPECT_TRUE(std::equal(before_kill.begin(), before_kill.end(), rows.begin()))
+      << "committed prefix changed order across the restart";
+  const auto [tail, tail_end] = client.stream_results("sweep", rows.size() - 5);
+  EXPECT_EQ(tail, std::vector<std::string>(rows.end() - 5, rows.end()));
+  EXPECT_EQ(tail_end.find("rows")->as_uint(), rows.size());
+}
+
+}  // namespace

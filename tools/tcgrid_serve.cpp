@@ -26,6 +26,15 @@
 // (the verb still answers, with zero-valued series). --trace appends one
 // canonical-JSON line per span/event to PATH.
 //
+// Coordinator mode (DESIGN.md §15): with --coordinator the daemon runs no
+// local workers — it leases (scenario, trial) units to stock tcgrid_serve
+// shard daemons (--shard, repeatable, unix:PATH or tcp:HOST:PORT; more can
+// join at runtime via the `register` verb) with pull-based work stealing,
+// and merges the streamed rows into its own checkpoint. The client-facing
+// verbs are unchanged, and the merged row set is byte-identical to a
+// single-process run. --listen-tcp accepts the same protocol over TCP —
+// the natural shape for shards on other hosts.
+//
 // SIGINT/SIGTERM stop the daemon cleanly (in-flight units are abandoned,
 // not committed — exactly the kill -9 contract, just politer to the
 // socket). SIGPIPE is ignored; vanished clients surface as write failures.
@@ -56,9 +65,16 @@ using tcgrid::serve::TenantQuota;
                "usage: %s --socket PATH --root DIR [--threads N] [--eps X]\n"
                "          [--store-dir DIR] [--default-quota RB:CB]\n"
                "          [--quota tenant=RB:CB]... [--no-obs] [--trace PATH]\n"
+               "          [--listen-tcp HOST:PORT] [--coordinator]\n"
+               "          [--shard ADDR]... [--shard-slots N] [--lease-batch N]\n"
+               "          [--heartbeat-ms N] [--heartbeat-timeout-ms N] [--no-steal]\n"
                "  RB:CB = realization-budget : chain-store bytes, optional k/m/g suffix\n"
                "  --store-dir enables the shared persistent chain-statistics cache\n"
-               "  --no-obs disables metric updates; --trace appends span events to PATH\n",
+               "  --no-obs disables metric updates; --trace appends span events to PATH\n"
+               "  --listen-tcp also accepts the protocol on a TCP port\n"
+               "  --coordinator runs no local workers: units are leased to --shard\n"
+               "    daemons (unix:PATH or tcp:HOST:PORT; repeatable, or registered at\n"
+               "    runtime) with work stealing, rows merged byte-identically\n",
                argv0);
   std::exit(2);
 }
@@ -94,6 +110,7 @@ TenantQuota parse_quota(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_listen;
   ServerOptions options;
   tcgrid::obs::Options obs_options;
   obs_options.enabled = true;
@@ -120,6 +137,14 @@ int main(int argc, char** argv) {
       }
       else if (arg == "--no-obs") obs_options.enabled = false;
       else if (arg == "--trace") obs_options.trace_path = next();
+      else if (arg == "--listen-tcp") tcp_listen = next();
+      else if (arg == "--coordinator") options.coordinator = true;
+      else if (arg == "--shard") options.shard.shards.push_back(next());
+      else if (arg == "--shard-slots") options.shard.slots_per_shard = std::stoul(next());
+      else if (arg == "--lease-batch") options.shard.lease_batch = std::stoul(next());
+      else if (arg == "--heartbeat-ms") options.shard.heartbeat_interval_ms = std::stol(next());
+      else if (arg == "--heartbeat-timeout-ms") options.shard.heartbeat_timeout_ms = std::stol(next());
+      else if (arg == "--no-steal") options.shard.steal = false;
       else usage(argv[0]);
     }
   } catch (const std::exception& e) {
@@ -141,8 +166,23 @@ int main(int argc, char** argv) {
   try {
     Server server(options);
     tcgrid::util::Fd listen_fd = tcgrid::util::listen_unix(socket_path);
-    std::fprintf(stderr, "tcgrid_serve: listening on %s (root %s)\n",
-                 socket_path.c_str(), options.root.c_str());
+    tcgrid::util::Fd tcp_fd;
+    std::thread tcp_thread;
+    if (!tcp_listen.empty()) {
+      const std::size_t colon = tcp_listen.rfind(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--listen-tcp expects HOST:PORT, got '" +
+                                    tcp_listen + "'");
+      }
+      tcp_fd = tcgrid::util::listen_tcp(
+          tcp_listen.substr(0, colon),
+          static_cast<unsigned short>(std::stoul(tcp_listen.substr(colon + 1))));
+      tcp_thread = std::thread([&] { server.serve(tcp_fd.get()); });
+      std::fprintf(stderr, "tcgrid_serve: listening on tcp:%s\n", tcp_listen.c_str());
+    }
+    std::fprintf(stderr, "tcgrid_serve: listening on %s (root %s)%s\n",
+                 socket_path.c_str(), options.root.c_str(),
+                 options.coordinator ? " [coordinator]" : "");
 
     std::thread stopper([&] {
       int sig = 0;
@@ -153,7 +193,9 @@ int main(int argc, char** argv) {
 
     server.serve(listen_fd.get());  // returns once hard_stop() ran
     stopper.join();
+    if (tcp_thread.joinable()) tcp_thread.join();
     listen_fd.reset();
+    tcp_fd.reset();
     ::unlink(socket_path.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tcgrid_serve: fatal: %s\n", e.what());
